@@ -1,0 +1,20 @@
+//! Benchmark wrapper around the figure-reproduction experiments: one
+//! criterion target per paper figure, so `cargo bench` exercises every
+//! experiment end to end (with shortened virtual durations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tashkent_sim::{Experiment, FigureId};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for id in FigureId::ALL {
+        group.bench_function(id.label(), |b| {
+            b.iter(|| Experiment::quick(id).run());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

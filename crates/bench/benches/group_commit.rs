@@ -1,0 +1,64 @@
+//! Micro-benchmark / ablation: group commit on the WAL writer.
+//!
+//! Shows how many records one synchronous flush can absorb when commits are
+//! submitted concurrently versus serially — the mechanism that separates
+//! Base from the two Tashkent systems.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tashkent_common::{TableId, Value, Version, WriteItem, WriteSet};
+use tashkent_storage::disk::{DiskConfig, LogDevice, SimulatedDisk};
+use tashkent_storage::wal::{WalRecord, WalWriter};
+
+fn record(version: u64) -> WalRecord {
+    WalRecord::Commit {
+        version: Version(version),
+        writeset: WriteSet::from_items(vec![WriteItem::update(
+            TableId(0),
+            version as i64,
+            vec![("x".into(), Value::Int(version as i64))],
+        )]),
+    }
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_commit");
+    group.sample_size(10);
+    for &writers in &[1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_writers", writers),
+            &writers,
+            |b, &writers| {
+                b.iter(|| {
+                    let disk = Arc::new(SimulatedDisk::new(DiskConfig {
+                        fsync_latency: Duration::from_micros(200),
+                        sleep: true,
+                        ..DiskConfig::default()
+                    }));
+                    let wal = Arc::new(WalWriter::new(disk.clone()));
+                    let handles: Vec<_> = (0..writers)
+                        .map(|w| {
+                            let wal = Arc::clone(&wal);
+                            thread::spawn(move || {
+                                for i in 0..20u64 {
+                                    wal.append_durable(&record(w as u64 * 100 + i));
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                    disk.stats().group_commit.mean_group_size()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_commit);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmark: storage-engine commit paths under the three WAL sync
+//! modes — the ablation behind the whole paper: synchronous commits cost an
+//! fsync each unless they can be grouped or skipped.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tashkent_common::{SyncMode, Value};
+use tashkent_storage::disk::DiskConfig;
+use tashkent_storage::{Database, EngineConfig};
+
+fn engine(sync_mode: SyncMode, fsync_us: u64) -> Database {
+    let db = Database::new(EngineConfig {
+        sync_mode,
+        disk: DiskConfig {
+            fsync_latency: Duration::from_micros(fsync_us),
+            sleep: fsync_us > 0,
+            ..DiskConfig::default()
+        },
+        ordered_commit_timeout: Duration::from_secs(5),
+    });
+    db.create_table("t", &["x"]);
+    db
+}
+
+fn bench_commit_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_commit");
+    group.bench_function("durable_commit", |b| {
+        let db = engine(SyncMode::Durable, 0);
+        let t = db.table_id("t").unwrap();
+        let mut key = 0i64;
+        b.iter(|| {
+            key += 1;
+            let tx = db.begin();
+            tx.insert(t, key, vec![("x".into(), Value::Int(key))]).unwrap();
+            tx.commit().unwrap()
+        });
+    });
+    group.bench_function("no_sync_commit", |b| {
+        let db = engine(SyncMode::Off, 0);
+        let t = db.table_id("t").unwrap();
+        let mut key = 0i64;
+        b.iter(|| {
+            key += 1;
+            let tx = db.begin();
+            tx.insert(t, key, vec![("x".into(), Value::Int(key))]).unwrap();
+            tx.commit().unwrap()
+        });
+    });
+    group.bench_function("ordered_commit", |b| {
+        let db = engine(SyncMode::Durable, 0);
+        let t = db.table_id("t").unwrap();
+        let mut key = 0i64;
+        b.iter(|| {
+            key += 1;
+            let tx = db.begin();
+            tx.insert(t, key, vec![("x".into(), Value::Int(key))]).unwrap();
+            tx.commit_ordered(key as u64, tashkent_common::Version(key as u64))
+                .unwrap()
+        });
+    });
+    group.bench_function("read_only_commit", |b| {
+        let db = engine(SyncMode::Durable, 0);
+        let t = db.table_id("t").unwrap();
+        let setup = db.begin();
+        setup.insert(t, 1, vec![("x".into(), Value::Int(1))]).unwrap();
+        setup.commit().unwrap();
+        b.iter(|| {
+            let tx = db.begin();
+            tx.read(t, 1).unwrap();
+            tx.commit().unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_paths);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Micro-benchmark: writeset intersection (the core certification operation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tashkent_common::{TableId, Value, WriteItem, WriteSet};
+
+fn writeset(table: u32, base: i64, items: usize) -> WriteSet {
+    WriteSet::from_items(
+        (0..items)
+            .map(|i| {
+                WriteItem::update(
+                    TableId(table),
+                    base + i as i64,
+                    vec![("x".into(), Value::Int(i as i64))],
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("writeset_intersection");
+    for &size in &[1usize, 4, 16, 64] {
+        let a = writeset(0, 0, size);
+        let disjoint = writeset(0, 10_000, size);
+        let overlapping = writeset(0, size as i64 - 1, size);
+        group.bench_with_input(BenchmarkId::new("disjoint", size), &size, |b, _| {
+            b.iter(|| a.conflicts_with(&disjoint));
+        });
+        group.bench_with_input(BenchmarkId::new("overlapping", size), &size, |b, _| {
+            b.iter(|| a.conflicts_with(&overlapping));
+        });
+        let footprint = a.footprint();
+        group.bench_with_input(BenchmarkId::new("cached_footprint", size), &size, |b, _| {
+            b.iter(|| disjoint.conflicts_with_footprint(&footprint));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersection);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates the figures and tables of the paper's evaluation section.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p tashkent-bench --release --bin figures -- all
+//! cargo run -p tashkent-bench --release --bin figures -- fig4 fig14 grouping
+//! cargo run -p tashkent-bench --release --bin figures -- --quick all
+//! ```
+
+use tashkent_bench::run_figure;
+use tashkent_sim::FigureId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let tokens: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let figures: Vec<FigureId> = if tokens.is_empty() || tokens.iter().any(|t| t.as_str() == "all")
+    {
+        FigureId::ALL.to_vec()
+    } else {
+        tokens
+            .iter()
+            .filter_map(|t| {
+                let id = FigureId::parse(t);
+                if id.is_none() {
+                    eprintln!("unknown figure id '{t}' (expected fig4..fig14, standalone, grouping)");
+                }
+                id
+            })
+            .collect()
+    };
+
+    for id in figures {
+        println!("{}", run_figure(id, quick));
+    }
+}

@@ -1,0 +1,50 @@
+//! Benchmark harness for the Tashkent reproduction.
+//!
+//! This crate has two halves:
+//!
+//! * the **`figures` binary** (`cargo run -p tashkent-bench --release --bin
+//!   figures -- all`), which regenerates every figure and table of the
+//!   paper's evaluation from the calibrated discrete-event model in
+//!   [`tashkent_sim`], printing the same rows/series the paper plots; and
+//! * **criterion micro-benchmarks** (`cargo bench -p tashkent-bench`) for the
+//!   real implementation: writeset intersection, certification throughput,
+//!   storage-engine commit paths under the three WAL sync modes, group commit
+//!   and remote-writeset application.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tashkent_sim::{Experiment, FigureId};
+
+/// Runs one figure/table experiment and returns its rendered text.
+#[must_use]
+pub fn run_figure(id: FigureId, quick: bool) -> String {
+    let experiment = if quick {
+        Experiment::quick(id)
+    } else {
+        Experiment::new(id)
+    };
+    experiment.run().render()
+}
+
+/// Runs every figure/table experiment, returning `(label, rendered)` pairs.
+#[must_use]
+pub fn run_all_figures(quick: bool) -> Vec<(&'static str, String)> {
+    FigureId::ALL
+        .iter()
+        .map(|id| (id.label(), run_figure(*id, quick)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_figure_renders_rows() {
+        let text = run_figure(FigureId::Fig4, true);
+        assert!(text.contains("fig4"));
+        assert!(text.contains("tashMW"));
+        assert!(text.contains("base"));
+    }
+}

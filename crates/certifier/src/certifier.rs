@@ -1,0 +1,539 @@
+//! The certifier façade used by replica proxies.
+//!
+//! [`Certifier`] combines the in-memory certified-writeset log
+//! ([`CertifierLog`]), the majority-replicated durable log
+//! ([`ReplicatedLog`]) and the certification policy (including the forced
+//! abort rates used by the Section 9.5 experiment) behind the exact request /
+//! response interface of Section 6.1:
+//!
+//! * request: `(T.tx_start_version, T.writeset)` plus the replica's current
+//!   version so the certifier knows which remote writesets the replica has
+//!   not seen yet;
+//! * response: the remote writesets, the decision (commit / abort) and the
+//!   transaction's commit version — extended, for Tashkent-API, with the
+//!   version down to which each remote writeset is conflict-free
+//!   (Section 5.2.1).
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tashkent_common::{Error, ReplicaId, Result, Version, WriteSet};
+use tashkent_storage::disk::DiskConfig;
+
+use crate::log::CertifierLog;
+use crate::paxos::{CertifierNodeId, ReplicatedLog, ReplicatedLogStats};
+
+/// Configuration of the certifier component.
+#[derive(Debug, Clone)]
+pub struct CertifierConfig {
+    /// Number of certifier nodes (leader + backups).
+    pub nodes: usize,
+    /// Disk configuration of every node's persistent log.
+    pub disk: DiskConfig,
+    /// Whether certified writesets are synchronously logged before the
+    /// certifier replies (`false` only for the `tashAPInoCERT` analysis).
+    pub durable: bool,
+    /// Fraction of certification requests aborted at random *after* the full
+    /// certification check (Section 9.5's forced abort rates).
+    pub forced_abort_rate: f64,
+    /// Seed for the forced-abort random choice, so experiments are
+    /// repeatable.
+    pub seed: u64,
+}
+
+impl Default for CertifierConfig {
+    fn default() -> Self {
+        CertifierConfig {
+            nodes: 3,
+            disk: DiskConfig::default(),
+            durable: true,
+            forced_abort_rate: 0.0,
+            seed: 0x7A5B_0001,
+        }
+    }
+}
+
+/// A certification request from a replica's proxy.
+#[derive(Debug, Clone)]
+pub struct CertificationRequest {
+    /// The requesting replica.
+    pub replica: ReplicaId,
+    /// The transaction's snapshot version (`tx_start_version`), possibly
+    /// already advanced by local certification at the proxy.
+    pub start_version: Version,
+    /// The transaction's writeset.
+    pub writeset: WriteSet,
+    /// The replica's current version (`replica_version`): remote writesets
+    /// newer than this are returned, and — for Tashkent-API — each returned
+    /// writeset is additionally certified back to this version.
+    pub replica_version: Version,
+}
+
+/// The certifier's verdict on one update transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificationDecision {
+    /// No write-write conflict: the transaction commits globally.
+    Commit,
+    /// The transaction must abort.
+    Abort {
+        /// Human-readable reason (conflict version or forced abort).
+        reason: String,
+        /// `true` if this abort was injected by the forced-abort experiment
+        /// rather than caused by a real conflict.
+        forced: bool,
+    },
+}
+
+impl CertificationDecision {
+    /// `true` for the commit decision.
+    #[must_use]
+    pub fn is_commit(&self) -> bool {
+        matches!(self, CertificationDecision::Commit)
+    }
+}
+
+/// A remote writeset returned to a replica.
+#[derive(Debug, Clone)]
+pub struct RemoteWriteSet {
+    /// The global version the writeset committed at.
+    pub commit_version: Version,
+    /// The writeset itself.
+    pub writeset: WriteSet,
+    /// The writeset is conflict-free against every writeset committed at
+    /// versions in `(conflict_free_to, commit_version)`.  A Tashkent-API
+    /// proxy may apply it concurrently with other pending writesets only if
+    /// `conflict_free_to` does not exceed the replica's applied version
+    /// (otherwise an "artificial" conflict would arise, Section 5.2.1).
+    pub conflict_free_to: Version,
+}
+
+/// The certifier's reply to a certification request.
+#[derive(Debug, Clone)]
+pub struct CertificationResponse {
+    /// Commit or abort.
+    pub decision: CertificationDecision,
+    /// The version the transaction commits at (only for commits).
+    pub commit_version: Option<Version>,
+    /// Remote writesets the replica has not seen yet (older than the
+    /// transaction's commit version, newer than the replica's version).
+    pub remote_writesets: Vec<RemoteWriteSet>,
+    /// The certifier's current system version.
+    pub system_version: Version,
+}
+
+/// Counters exposed by [`Certifier::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct CertifierStats {
+    /// Certification requests processed.
+    pub requests: u64,
+    /// Requests that committed.
+    pub commits: u64,
+    /// Requests aborted because of a real write-write conflict.
+    pub conflict_aborts: u64,
+    /// Requests aborted by the forced-abort experiment.
+    pub forced_aborts: u64,
+    /// State of the replicated durable log.
+    pub log: ReplicatedLogStats,
+}
+
+struct CertifierInner {
+    log: CertifierLog,
+    rng: StdRng,
+    requests: u64,
+    commits: u64,
+    conflict_aborts: u64,
+    forced_aborts: u64,
+}
+
+/// The certifier component shared by every replica proxy in a cluster.
+pub struct Certifier {
+    inner: Mutex<CertifierInner>,
+    replicated: ReplicatedLog,
+    forced_abort_rate: f64,
+}
+
+impl std::fmt::Debug for Certifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Certifier")
+            .field("system_version", &self.system_version())
+            .finish()
+    }
+}
+
+impl Certifier {
+    /// Creates a certifier group.
+    #[must_use]
+    pub fn new(config: CertifierConfig) -> Self {
+        Certifier {
+            inner: Mutex::new(CertifierInner {
+                log: CertifierLog::new(),
+                rng: StdRng::seed_from_u64(config.seed),
+                requests: 0,
+                commits: 0,
+                conflict_aborts: 0,
+                forced_aborts: 0,
+            }),
+            replicated: ReplicatedLog::new(config.nodes, config.disk, config.durable),
+            forced_abort_rate: config.forced_abort_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Rebuilds a certifier from previously durable log entries (certifier
+    /// recovery: the in-memory log is reconstructed from the persistent log
+    /// or from a state transfer, Section 7.3).
+    #[must_use]
+    pub fn from_entries(config: CertifierConfig, entries: &[(Version, WriteSet)]) -> Self {
+        let certifier = Certifier::new(config);
+        {
+            let mut inner = certifier.inner.lock();
+            for (version, writeset) in entries {
+                inner.log.append_at(*version, writeset.clone());
+            }
+        }
+        for (version, writeset) in entries {
+            // Re-persist so the new group's disks hold the full log.
+            let _ = certifier.replicated.append(*version, writeset);
+        }
+        certifier
+    }
+
+    /// The global system version (number of committed update transactions).
+    #[must_use]
+    pub fn system_version(&self) -> Version {
+        self.inner.lock().log.system_version()
+    }
+
+    /// `true` if a majority of certifier nodes is up.
+    #[must_use]
+    pub fn is_available(&self) -> bool {
+        self.replicated.is_available()
+    }
+
+    /// The current leader node.
+    #[must_use]
+    pub fn leader(&self) -> CertifierNodeId {
+        self.replicated.leader()
+    }
+
+    /// Crashes one certifier node (fault injection).
+    pub fn crash_node(&self, node: CertifierNodeId) {
+        self.replicated.crash_node(node);
+    }
+
+    /// Recovers a crashed certifier node via state transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unavailable`] if no up node can donate the log.
+    pub fn recover_node(&self, node: CertifierNodeId) -> Result<()> {
+        self.replicated.recover_node(node)
+    }
+
+    /// Certifies an update transaction (Section 6.1 pseudo-code).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unavailable`] if fewer than a majority of certifier
+    /// nodes are up; certification *decisions* (including aborts) are
+    /// reported in the response, not as errors.
+    pub fn certify(&self, request: &CertificationRequest) -> Result<CertificationResponse> {
+        if !self.replicated.is_available() {
+            return Err(Error::Unavailable(
+                "certifier majority not available".into(),
+            ));
+        }
+        let mut inner = self.inner.lock();
+        inner.requests += 1;
+
+        // Remote writesets the replica has not seen yet, gathered before the
+        // committing transaction's own writeset is appended.  Each is
+        // additionally certified back to the replica's version so that a
+        // Tashkent-API proxy can detect artificial conflicts.
+        let pending: Vec<(Version, WriteSet)> =
+            inner.log.entries_after(request.replica_version);
+        let mut remote_writesets = Vec::with_capacity(pending.len());
+        for (commit_version, writeset) in pending {
+            let conflict_free_to = inner
+                .log
+                .conflict_free_back_to(commit_version, request.replica_version);
+            remote_writesets.push(RemoteWriteSet {
+                commit_version,
+                writeset,
+                conflict_free_to,
+            });
+        }
+
+        // Step 1: intersection test against the log suffix.
+        if let Some(conflict_version) = inner
+            .log
+            .conflict_after(&request.writeset, request.start_version)
+        {
+            inner.conflict_aborts += 1;
+            let system_version = inner.log.system_version();
+            return Ok(CertificationResponse {
+                decision: CertificationDecision::Abort {
+                    reason: format!("write-write conflict with {conflict_version}"),
+                    forced: false,
+                },
+                commit_version: None,
+                remote_writesets,
+                system_version,
+            });
+        }
+
+        // Forced aborts happen after the full certification check so that all
+        // computational overhead at the certifier is incurred (Section 9.5).
+        if self.forced_abort_rate > 0.0 && inner.rng.gen::<f64>() < self.forced_abort_rate {
+            inner.forced_aborts += 1;
+            let system_version = inner.log.system_version();
+            return Ok(CertificationResponse {
+                decision: CertificationDecision::Abort {
+                    reason: "forced abort (experiment)".into(),
+                    forced: true,
+                },
+                commit_version: None,
+                remote_writesets,
+                system_version,
+            });
+        }
+
+        // Step 2: commit — assign the next version and append to the log.
+        let commit_version = inner
+            .log
+            .append(request.writeset.clone(), request.start_version);
+        inner.commits += 1;
+        let system_version = inner.log.system_version();
+        drop(inner);
+
+        // The decision is only announced once the log record is durable on a
+        // majority of certifier nodes.  Concurrent certifications share
+        // fsyncs through group commit.
+        self.replicated.append(commit_version, &request.writeset)?;
+
+        Ok(CertificationResponse {
+            decision: CertificationDecision::Commit,
+            commit_version: Some(commit_version),
+            remote_writesets,
+            system_version,
+        })
+    }
+
+    /// Returns the remote writesets committed after `since`, used by the
+    /// proxy's bounded-staleness refresh (Section 6.2) and by replica
+    /// recovery.
+    #[must_use]
+    pub fn writesets_after(&self, since: Version) -> Vec<RemoteWriteSet> {
+        let mut inner = self.inner.lock();
+        let pending = inner.log.entries_after(since);
+        pending
+            .into_iter()
+            .map(|(commit_version, writeset)| {
+                let conflict_free_to = inner.log.conflict_free_back_to(commit_version, since);
+                RemoteWriteSet {
+                    commit_version,
+                    writeset,
+                    conflict_free_to,
+                }
+            })
+            .collect()
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> CertifierStats {
+        let inner = self.inner.lock();
+        CertifierStats {
+            requests: inner.requests,
+            commits: inner.commits,
+            conflict_aborts: inner.conflict_aborts,
+            forced_aborts: inner.forced_aborts,
+            log: self.replicated.stats(),
+        }
+    }
+
+    /// Reads the durable log of a given certifier node (recovery tooling).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors and unknown-node errors.
+    pub fn durable_entries(&self, node: CertifierNodeId) -> Result<Vec<(Version, WriteSet)>> {
+        self.replicated.durable_entries(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tashkent_common::{TableId, Value, WriteItem};
+
+    use super::*;
+
+    fn ws(keys: &[i64]) -> WriteSet {
+        WriteSet::from_items(
+            keys.iter()
+                .map(|&k| WriteItem::update(TableId(0), k, vec![("x".into(), Value::Int(k))]))
+                .collect(),
+        )
+    }
+
+    fn request(start: u64, replica_version: u64, keys: &[i64]) -> CertificationRequest {
+        CertificationRequest {
+            replica: ReplicaId(0),
+            start_version: Version(start),
+            writeset: ws(keys),
+            replica_version: Version(replica_version),
+        }
+    }
+
+    #[test]
+    fn non_conflicting_transactions_commit_in_order() {
+        let certifier = Certifier::new(CertifierConfig::default());
+        let r1 = certifier.certify(&request(0, 0, &[1])).unwrap();
+        let r2 = certifier.certify(&request(0, 0, &[2])).unwrap();
+        assert!(r1.decision.is_commit());
+        assert!(r2.decision.is_commit());
+        assert_eq!(r1.commit_version, Some(Version(1)));
+        assert_eq!(r2.commit_version, Some(Version(2)));
+        assert_eq!(certifier.system_version(), Version(2));
+        // The second response carries the first transaction as a remote
+        // writeset (the replica claimed version 0).
+        assert_eq!(r2.remote_writesets.len(), 1);
+        assert_eq!(r2.remote_writesets[0].commit_version, Version(1));
+        let stats = certifier.stats();
+        assert_eq!(stats.commits, 2);
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.log.entries, 2);
+    }
+
+    #[test]
+    fn conflicting_concurrent_transactions_abort() {
+        let certifier = Certifier::new(CertifierConfig::default());
+        assert!(certifier
+            .certify(&request(0, 0, &[5]))
+            .unwrap()
+            .decision
+            .is_commit());
+        // A transaction that also started at version 0 and writes key 5
+        // conflicts with the first.
+        let response = certifier.certify(&request(0, 0, &[5, 6])).unwrap();
+        assert!(!response.decision.is_commit());
+        assert!(response.commit_version.is_none());
+        // A transaction that started *after* the first committed does not.
+        let response = certifier.certify(&request(1, 1, &[5])).unwrap();
+        assert!(response.decision.is_commit());
+        let stats = certifier.stats();
+        assert_eq!(stats.conflict_aborts, 1);
+        assert_eq!(stats.commits, 2);
+    }
+
+    #[test]
+    fn remote_writesets_are_limited_to_unseen_versions() {
+        let certifier = Certifier::new(CertifierConfig::default());
+        for k in 1..=5 {
+            certifier.certify(&request(0, 0, &[k * 10])).unwrap();
+        }
+        // A replica that has already applied version 3 only gets 4 and 5.
+        let response = certifier.certify(&request(5, 3, &[99])).unwrap();
+        let versions: Vec<u64> = response
+            .remote_writesets
+            .iter()
+            .map(|r| r.commit_version.value())
+            .collect();
+        assert_eq!(versions, vec![4, 5]);
+    }
+
+    #[test]
+    fn extended_certification_reports_artificial_conflicts() {
+        let certifier = Certifier::new(CertifierConfig::default());
+        // v1 writes key 5; v2 writes key 7; v3 writes key 5 again (its
+        // transaction started at version 1 so it does not conflict globally,
+        // but it conflicts with v1 when both are applied concurrently).
+        certifier.certify(&request(0, 0, &[5])).unwrap();
+        certifier.certify(&request(1, 1, &[7])).unwrap();
+        certifier.certify(&request(1, 1, &[5])).unwrap();
+        // A replica still at version 0 receives all three: v3's
+        // conflict_free_to must point at v1.
+        let remotes = certifier.writesets_after(Version::ZERO);
+        assert_eq!(remotes.len(), 3);
+        let v3 = remotes.iter().find(|r| r.commit_version == Version(3)).unwrap();
+        assert_eq!(v3.conflict_free_to, Version(1));
+        let v2 = remotes.iter().find(|r| r.commit_version == Version(2)).unwrap();
+        assert_eq!(v2.conflict_free_to, Version::ZERO);
+    }
+
+    #[test]
+    fn forced_aborts_follow_the_configured_rate() {
+        let certifier = Certifier::new(CertifierConfig {
+            forced_abort_rate: 0.4,
+            ..CertifierConfig::default()
+        });
+        let mut aborted: u64 = 0;
+        for i in 0..500 {
+            let response = certifier.certify(&request(
+                certifier.system_version().value(),
+                certifier.system_version().value(),
+                &[i],
+            ))
+            .unwrap();
+            if !response.decision.is_commit() {
+                aborted += 1;
+            }
+        }
+        let rate = aborted as f64 / 500.0;
+        assert!((rate - 0.4).abs() < 0.08, "observed forced abort rate {rate}");
+        let stats = certifier.stats();
+        assert_eq!(stats.forced_aborts, aborted);
+        assert_eq!(stats.conflict_aborts, 0);
+    }
+
+    #[test]
+    fn certification_requires_a_majority_of_nodes() {
+        let certifier = Certifier::new(CertifierConfig::default());
+        certifier.certify(&request(0, 0, &[1])).unwrap();
+        certifier.crash_node(CertifierNodeId(0));
+        // Leader fails over, still available.
+        assert!(certifier.is_available());
+        assert_ne!(certifier.leader(), CertifierNodeId(0));
+        certifier.certify(&request(1, 1, &[2])).unwrap();
+        certifier.crash_node(CertifierNodeId(1));
+        assert!(!certifier.is_available());
+        assert!(matches!(
+            certifier.certify(&request(2, 2, &[3])),
+            Err(Error::Unavailable(_))
+        ));
+        // Recovering one node restores progress.
+        certifier.recover_node(CertifierNodeId(0)).unwrap();
+        assert!(certifier.is_available());
+        certifier.certify(&request(2, 2, &[3])).unwrap();
+    }
+
+    #[test]
+    fn recovery_from_durable_entries_reproduces_the_log() {
+        let certifier = Certifier::new(CertifierConfig::default());
+        for k in 1..=6 {
+            certifier.certify(&request(k - 1, k - 1, &[k as i64])).unwrap();
+        }
+        let entries = certifier.durable_entries(certifier.leader()).unwrap();
+        assert_eq!(entries.len(), 6);
+        let recovered = Certifier::from_entries(CertifierConfig::default(), &entries);
+        assert_eq!(recovered.system_version(), Version(6));
+        // The recovered certifier still detects conflicts against old
+        // entries.
+        let response = recovered.certify(&request(0, 6, &[1])).unwrap();
+        assert!(!response.decision.is_commit());
+    }
+
+    #[test]
+    fn group_commit_statistics_are_exposed() {
+        let certifier = Certifier::new(CertifierConfig::default());
+        for k in 0..20 {
+            certifier
+                .certify(&request(k, k, &[k as i64 + 100]))
+                .unwrap();
+        }
+        let stats = certifier.stats();
+        assert_eq!(stats.log.entries, 20);
+        assert!(stats.log.leader_fsyncs > 0);
+        assert!(stats.log.leader_log_bytes > 0);
+        assert!(stats.log.leader_group_commit.mean_group_size() >= 1.0);
+    }
+}

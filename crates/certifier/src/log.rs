@@ -1,0 +1,316 @@
+//! The certified-writeset log.
+//!
+//! The certifier maintains an ordered log of `(writeset, commit_version)`
+//! tuples for every committed update transaction.  Certification of a new
+//! writeset is an intersection test against the log *suffix* — the entries
+//! committed after the transaction's start version (Section 6.1).
+//!
+//! For Tashkent-API the log also answers the *extended certification* query
+//! of Section 5.2.1: given an already-committed writeset, how far back is it
+//! conflict-free?  The proxy uses the answer to decide whether a remote
+//! writeset can be applied concurrently with earlier remote writesets, or
+//! whether doing so would create an "artificial" write-write conflict at the
+//! replica.  The per-entry answer is memoised (`checked_down_to`) so repeated
+//! requests from different replicas do not repeat the intersection work.
+
+use std::collections::HashSet;
+
+use tashkent_common::{RowKey, TableId, Version, WriteSet};
+
+/// One entry of the certified log.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// Version created by this commit.
+    pub commit_version: Version,
+    /// The certified writeset.
+    pub writeset: WriteSet,
+    /// Cached footprint for fast intersection tests.
+    footprint: HashSet<(TableId, RowKey)>,
+    /// The writeset is known conflict-free against every entry with a commit
+    /// version strictly greater than this value (and smaller than its own).
+    /// Initially the transaction's start version (normal certification
+    /// already covered that range).
+    checked_down_to: Version,
+}
+
+impl LogEntry {
+    fn new(commit_version: Version, writeset: WriteSet, checked_down_to: Version) -> Self {
+        let footprint = writeset.footprint();
+        LogEntry {
+            commit_version,
+            writeset,
+            footprint,
+            checked_down_to,
+        }
+    }
+}
+
+/// The in-memory certified-writeset log.
+#[derive(Debug, Default)]
+pub struct CertifierLog {
+    entries: Vec<LogEntry>,
+}
+
+impl CertifierLog {
+    /// Creates an empty log (system version zero).
+    #[must_use]
+    pub fn new() -> Self {
+        CertifierLog::default()
+    }
+
+    /// The system version: the commit version of the newest entry.
+    #[must_use]
+    pub fn system_version(&self) -> Version {
+        self.entries
+            .last()
+            .map_or(Version::ZERO, |e| e.commit_version)
+    }
+
+    /// Number of certified writesets in the log.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been certified yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total encoded size of all logged writesets in bytes (used for the
+    /// certifier-recovery sizing experiment of Section 9.6).
+    #[must_use]
+    pub fn encoded_size(&self) -> usize {
+        self.entries.iter().map(|e| e.writeset.encoded_len()).sum()
+    }
+
+    /// Tests whether `writeset` conflicts with any entry committed after
+    /// `start_version` — the core certification check.
+    ///
+    /// Returns the commit version of the first conflicting entry found, or
+    /// `None` if the writeset is conflict-free.
+    #[must_use]
+    pub fn conflict_after(&self, writeset: &WriteSet, start_version: Version) -> Option<Version> {
+        if writeset.is_empty() {
+            return None;
+        }
+        for entry in self.suffix(start_version) {
+            if writeset.conflicts_with_footprint(&entry.footprint) {
+                return Some(entry.commit_version);
+            }
+        }
+        None
+    }
+
+    /// Appends a certified writeset, assigning it the next system version.
+    ///
+    /// `start_version` records how far back normal certification already
+    /// checked the writeset, seeding the memoised extended-certification
+    /// bound.
+    pub fn append(&mut self, writeset: WriteSet, start_version: Version) -> Version {
+        let commit_version = self.system_version().next();
+        self.entries
+            .push(LogEntry::new(commit_version, writeset, start_version));
+        commit_version
+    }
+
+    /// Appends an entry with an explicit version (used by certifier recovery
+    /// and by backup nodes applying the leader's state).
+    pub fn append_at(&mut self, commit_version: Version, writeset: WriteSet) {
+        debug_assert!(commit_version > self.system_version());
+        let checked = commit_version.prev();
+        self.entries
+            .push(LogEntry::new(commit_version, writeset, checked));
+    }
+
+    /// The entries committed after `since` (exclusive), i.e. the remote
+    /// writesets a replica at version `since` has not seen yet.
+    #[must_use]
+    pub fn entries_after(&self, since: Version) -> Vec<(Version, WriteSet)> {
+        self.suffix(since)
+            .map(|e| (e.commit_version, e.writeset.clone()))
+            .collect()
+    }
+
+    /// Extended certification (Section 5.2.1): determines the version down to
+    /// which the entry committed at `commit_version` is conflict-free, but no
+    /// further back than `target`.
+    ///
+    /// Returns `target` if the entry is conflict-free all the way back to
+    /// `target`, or the commit version of the newest conflicting entry
+    /// otherwise.  The result is memoised so that subsequent queries for the
+    /// same entry avoid re-checking ("the certifier records for each writeset
+    /// the point to where it has been further certified").
+    pub fn conflict_free_back_to(&mut self, commit_version: Version, target: Version) -> Version {
+        let index = match self
+            .entries
+            .binary_search_by_key(&commit_version, |e| e.commit_version)
+        {
+            Ok(i) => i,
+            Err(_) => return target,
+        };
+        if self.entries[index].checked_down_to <= target {
+            // Already certified at least that far back.
+            return target.max(self.newest_conflict_cached(index, target));
+        }
+        let (probe_footprint, checked_down_to) = {
+            let entry = &self.entries[index];
+            (entry.footprint.clone(), entry.checked_down_to)
+        };
+        // Check the not-yet-covered range (target, checked_down_to].
+        let mut newest_conflict: Option<Version> = None;
+        for entry in self.entries[..index].iter().rev() {
+            if entry.commit_version > checked_down_to {
+                continue;
+            }
+            if entry.commit_version <= target {
+                break;
+            }
+            if entry
+                .footprint
+                .iter()
+                .any(|item| probe_footprint.contains(item))
+            {
+                newest_conflict = Some(entry.commit_version);
+                break;
+            }
+        }
+        match newest_conflict {
+            Some(v) => {
+                // Conflict found at v: the entry is conflict-free back to v.
+                self.entries[index].checked_down_to = v;
+                v
+            }
+            None => {
+                self.entries[index].checked_down_to = target;
+                target
+            }
+        }
+    }
+
+    /// Cached variant used when the memoised bound already covers `target`:
+    /// the entry is known conflict-free back to `checked_down_to`, so the
+    /// answer is simply `target` (the caller's bound).
+    fn newest_conflict_cached(&self, _index: usize, target: Version) -> Version {
+        target
+    }
+
+    /// Discards entries at or below `version` (log truncation after all
+    /// replicas have acknowledged them).  Returns the number discarded.
+    pub fn truncate_up_to(&mut self, version: Version) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.commit_version > version);
+        before - self.entries.len()
+    }
+
+    fn suffix(&self, after: Version) -> impl Iterator<Item = &LogEntry> {
+        // Entries are sorted by commit version; binary search for the split.
+        let start = self
+            .entries
+            .partition_point(|e| e.commit_version <= after);
+        self.entries[start..].iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tashkent_common::{Value, WriteItem};
+
+    use super::*;
+
+    fn ws(table: u32, keys: &[i64]) -> WriteSet {
+        WriteSet::from_items(
+            keys.iter()
+                .map(|&k| WriteItem::update(TableId(table), k, vec![("x".into(), Value::Int(k))]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn append_assigns_consecutive_versions() {
+        let mut log = CertifierLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.system_version(), Version::ZERO);
+        assert_eq!(log.append(ws(0, &[1]), Version::ZERO), Version(1));
+        assert_eq!(log.append(ws(0, &[2]), Version::ZERO), Version(2));
+        assert_eq!(log.system_version(), Version(2));
+        assert_eq!(log.len(), 2);
+        assert!(log.encoded_size() > 0);
+    }
+
+    #[test]
+    fn conflict_detection_respects_start_version() {
+        let mut log = CertifierLog::new();
+        log.append(ws(0, &[1, 2]), Version::ZERO); // v1
+        log.append(ws(0, &[3]), Version::ZERO); // v2
+        // A transaction that started at version 0 conflicts with v1.
+        assert_eq!(log.conflict_after(&ws(0, &[2]), Version::ZERO), Some(Version(1)));
+        // The same writeset certified from version 1 onwards is clean.
+        assert_eq!(log.conflict_after(&ws(0, &[2]), Version(1)), None);
+        // Non-overlapping writesets never conflict.
+        assert_eq!(log.conflict_after(&ws(0, &[9]), Version::ZERO), None);
+        // Read-only (empty) writesets never conflict.
+        assert_eq!(log.conflict_after(&WriteSet::new(), Version::ZERO), None);
+        // Different table, same key: no conflict.
+        assert_eq!(log.conflict_after(&ws(1, &[1]), Version::ZERO), None);
+    }
+
+    #[test]
+    fn entries_after_returns_unseen_remote_writesets() {
+        let mut log = CertifierLog::new();
+        log.append(ws(0, &[1]), Version::ZERO);
+        log.append(ws(0, &[2]), Version::ZERO);
+        log.append(ws(0, &[3]), Version::ZERO);
+        let remote = log.entries_after(Version(1));
+        assert_eq!(remote.len(), 2);
+        assert_eq!(remote[0].0, Version(2));
+        assert_eq!(remote[1].0, Version(3));
+        assert!(log.entries_after(Version(3)).is_empty());
+        assert_eq!(log.entries_after(Version::ZERO).len(), 3);
+    }
+
+    #[test]
+    fn extended_certification_finds_artificial_conflicts() {
+        let mut log = CertifierLog::new();
+        // v1 and v3 touch key 5; v2 is unrelated.
+        log.append(ws(0, &[5]), Version::ZERO); // v1
+        log.append(ws(0, &[7]), Version(1)); // v2
+        log.append(ws(0, &[5, 8]), Version(2)); // v3 — certified back to v2 only.
+        // Asking how far back v3 is conflict-free towards version 0 finds the
+        // conflict with v1.
+        assert_eq!(
+            log.conflict_free_back_to(Version(3), Version::ZERO),
+            Version(1)
+        );
+        // The result is memoised: asking again with a target at or after the
+        // conflict yields the target itself.
+        assert_eq!(
+            log.conflict_free_back_to(Version(3), Version(1)),
+            Version(1)
+        );
+        // v2 is conflict-free all the way back.
+        assert_eq!(
+            log.conflict_free_back_to(Version(2), Version::ZERO),
+            Version::ZERO
+        );
+        // Unknown versions are reported as conflict-free to the target.
+        assert_eq!(
+            log.conflict_free_back_to(Version(99), Version(4)),
+            Version(4)
+        );
+    }
+
+    #[test]
+    fn append_at_and_truncate() {
+        let mut log = CertifierLog::new();
+        log.append_at(Version(3), ws(0, &[1]));
+        log.append_at(Version(5), ws(0, &[2]));
+        assert_eq!(log.system_version(), Version(5));
+        assert_eq!(log.conflict_after(&ws(0, &[1]), Version::ZERO), Some(Version(3)));
+        let removed = log.truncate_up_to(Version(3));
+        assert_eq!(removed, 1);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.system_version(), Version(5));
+    }
+}

@@ -1,0 +1,367 @@
+//! Certifier replication: a Paxos-style replicated durable log.
+//!
+//! Section 7.3 of the paper replicates the certifier state across a small set
+//! of nodes for availability: a leader receives all certification requests,
+//! selects the transactions that may commit, sends the new log records to all
+//! certifier nodes (including itself), and declares the transactions
+//! committed once a **majority** of nodes have written the records to disk.
+//! When the leader crashes a new leader is elected; a recovering node obtains
+//! the missing log suffix from an up node via a state transfer.
+//!
+//! [`ReplicatedLog`] implements exactly that behaviour in-process: each node
+//! owns its own simulated disk, appends are acknowledged only when durable,
+//! and progress requires a majority of nodes up.  The group-commit batching
+//! of the underlying [`WalWriter`] is what gives the certifier its "single
+//! writer thread … batches all outstanding writesets to disk via a single
+//! fsync" efficiency.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tashkent_common::{Error, GroupCommitStats, Result, Version, WriteSet};
+use tashkent_storage::disk::{DiskConfig, LogDevice, SimulatedDisk};
+use tashkent_storage::wal::{WalRecord, WalWriter};
+
+/// Identifier of one certifier node within the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CertifierNodeId(pub u32);
+
+impl std::fmt::Display for CertifierNodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "certifier-{}", self.0)
+    }
+}
+
+struct Node {
+    id: CertifierNodeId,
+    device: Arc<SimulatedDisk>,
+    wal: WalWriter,
+    up: AtomicBool,
+}
+
+impl Node {
+    fn new(id: CertifierNodeId, disk: DiskConfig) -> Self {
+        let device = Arc::new(SimulatedDisk::new(disk));
+        let wal = WalWriter::new(device.clone() as Arc<dyn LogDevice>);
+        Node {
+            id,
+            device,
+            wal,
+            up: AtomicBool::new(true),
+        }
+    }
+
+    fn is_up(&self) -> bool {
+        self.up.load(Ordering::SeqCst)
+    }
+}
+
+/// Statistics of the replicated certifier log.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicatedLogStats {
+    /// Log entries appended (committed writesets).
+    pub entries: u64,
+    /// fsync operations performed by the current leader's disk.
+    pub leader_fsyncs: u64,
+    /// Group-commit behaviour of the current leader's disk: the paper's
+    /// "writesets per fsync".
+    pub leader_group_commit: GroupCommitStats,
+    /// Bytes durable on the current leader's disk.
+    pub leader_log_bytes: u64,
+    /// Number of nodes currently up.
+    pub nodes_up: usize,
+    /// Total nodes in the group.
+    pub nodes_total: usize,
+}
+
+/// A majority-replicated durable log of certified writesets.
+pub struct ReplicatedLog {
+    nodes: Vec<Arc<Node>>,
+    leader: Mutex<usize>,
+    entries: Mutex<u64>,
+    durable: bool,
+    disk_config: DiskConfig,
+}
+
+impl std::fmt::Debug for ReplicatedLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedLog")
+            .field("nodes", &self.nodes.len())
+            .field("leader", &*self.leader.lock())
+            .field("entries", &*self.entries.lock())
+            .finish()
+    }
+}
+
+impl ReplicatedLog {
+    /// Creates a group of `nodes` certifier nodes, each with its own disk.
+    ///
+    /// `durable` selects whether appends wait for disks at all; the
+    /// `tashAPInoCERT` analysis configuration sets it to `false`.
+    #[must_use]
+    pub fn new(nodes: usize, disk_config: DiskConfig, durable: bool) -> Self {
+        let nodes = (0..nodes.max(1))
+            .map(|i| Arc::new(Node::new(CertifierNodeId(i as u32), disk_config.clone())))
+            .collect();
+        ReplicatedLog {
+            nodes,
+            leader: Mutex::new(0),
+            entries: Mutex::new(0),
+            durable,
+            disk_config,
+        }
+    }
+
+    /// Majority size of the group.
+    #[must_use]
+    pub fn majority(&self) -> usize {
+        self.nodes.len() / 2 + 1
+    }
+
+    /// The current leader.
+    #[must_use]
+    pub fn leader(&self) -> CertifierNodeId {
+        self.nodes[*self.leader.lock()].id
+    }
+
+    /// Number of nodes currently up.
+    #[must_use]
+    pub fn up_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_up()).count()
+    }
+
+    /// `true` if a majority of certifier nodes is up, i.e. update
+    /// transactions can make progress (Section 7).
+    #[must_use]
+    pub fn is_available(&self) -> bool {
+        self.up_count() >= self.majority()
+    }
+
+    /// Appends one certified writeset to the replicated log, returning once a
+    /// majority of nodes has it durable.
+    ///
+    /// Concurrent appends from different certification requests share fsyncs
+    /// on each node's disk through the [`WalWriter`]'s group commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unavailable`] if fewer than a majority of nodes are
+    /// up or acknowledge the append.
+    pub fn append(&self, version: Version, writeset: &WriteSet) -> Result<()> {
+        let majority = self.majority();
+        if self.up_count() < majority {
+            return Err(Error::Unavailable(format!(
+                "only {} of {} certifier nodes up, majority {} required",
+                self.up_count(),
+                self.nodes.len(),
+                majority
+            )));
+        }
+        *self.entries.lock() += 1;
+        let record = WalRecord::Commit {
+            version,
+            writeset: writeset.clone(),
+        };
+        let mut acks = 0usize;
+        for node in &self.nodes {
+            if !node.is_up() {
+                continue;
+            }
+            if self.durable {
+                node.wal.append_durable(&record);
+            } else {
+                node.wal.append(&record);
+            }
+            acks += 1;
+        }
+        if acks >= majority {
+            Ok(())
+        } else {
+            Err(Error::Unavailable(format!(
+                "only {acks} certifier nodes acknowledged, majority {majority} required"
+            )))
+        }
+    }
+
+    /// Crashes a node.  If it was the leader, a new leader is elected among
+    /// the remaining up nodes.
+    pub fn crash_node(&self, id: CertifierNodeId) {
+        if let Some(node) = self.nodes.iter().find(|n| n.id == id) {
+            node.up.store(false, Ordering::SeqCst);
+            node.device.crash();
+        }
+        let mut leader = self.leader.lock();
+        if self.nodes[*leader].id == id {
+            if let Some(new_leader) = self.nodes.iter().position(|n| n.is_up()) {
+                *leader = new_leader;
+            }
+        }
+    }
+
+    /// Recovers a crashed node: the missing log suffix is transferred from an
+    /// up node and made durable locally, then the node rejoins the group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unavailable`] if no up node exists to transfer state
+    /// from, or [`Error::Protocol`] for an unknown node id.
+    pub fn recover_node(&self, id: CertifierNodeId) -> Result<()> {
+        let donor = self
+            .nodes
+            .iter()
+            .find(|n| n.is_up() && n.id != id)
+            .ok_or_else(|| Error::Unavailable("no up certifier to transfer state from".into()))?;
+        let node = self
+            .nodes
+            .iter()
+            .find(|n| n.id == id)
+            .ok_or_else(|| Error::Protocol(format!("unknown certifier node {id}")))?;
+        let donor_contents = donor.device.durable_contents();
+        let local_len = node.device.durable_len() as usize;
+        if donor_contents.len() > local_len {
+            let missing = &donor_contents[local_len..];
+            node.device.append(missing);
+            node.device.fsync(1);
+        }
+        node.up.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Reads back the durable entries of a node (used by certifier recovery
+    /// to rebuild the in-memory log, and by Tashkent-MW replica recovery to
+    /// obtain missing writesets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] if the node's log cannot be decoded, or
+    /// [`Error::Protocol`] for an unknown node id.
+    pub fn durable_entries(&self, id: CertifierNodeId) -> Result<Vec<(Version, WriteSet)>> {
+        let node = self
+            .nodes
+            .iter()
+            .find(|n| n.id == id)
+            .ok_or_else(|| Error::Protocol(format!("unknown certifier node {id}")))?;
+        let records = WalRecord::decode_all(&node.device.durable_contents())?;
+        Ok(records
+            .into_iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit { version, writeset } => Some((version, writeset)),
+                WalRecord::Checkpoint { .. } => None,
+            })
+            .collect())
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> ReplicatedLogStats {
+        let leader = &self.nodes[*self.leader.lock()];
+        let disk = leader.device.stats();
+        ReplicatedLogStats {
+            entries: *self.entries.lock(),
+            leader_fsyncs: disk.fsyncs,
+            leader_group_commit: disk.group_commit,
+            leader_log_bytes: leader.device.durable_len(),
+            nodes_up: self.up_count(),
+            nodes_total: self.nodes.len(),
+        }
+    }
+
+    /// The disk configuration nodes were created with (used when a crashed
+    /// node is replaced rather than recovered).
+    #[must_use]
+    pub fn disk_config(&self) -> DiskConfig {
+        self.disk_config.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tashkent_common::{TableId, Value, WriteItem};
+
+    use super::*;
+
+    fn ws(key: i64) -> WriteSet {
+        WriteSet::from_items(vec![WriteItem::update(
+            TableId(0),
+            key,
+            vec![("x".into(), Value::Int(key))],
+        )])
+    }
+
+    #[test]
+    fn appends_reach_all_up_nodes() {
+        let log = ReplicatedLog::new(3, DiskConfig::default(), true);
+        assert_eq!(log.majority(), 2);
+        assert!(log.is_available());
+        for i in 1..=5 {
+            log.append(Version(i), &ws(i as i64)).unwrap();
+        }
+        for node in 0..3 {
+            let entries = log.durable_entries(CertifierNodeId(node)).unwrap();
+            assert_eq!(entries.len(), 5);
+            assert_eq!(entries[4].0, Version(5));
+        }
+        let stats = log.stats();
+        assert_eq!(stats.entries, 5);
+        assert_eq!(stats.nodes_up, 3);
+    }
+
+    #[test]
+    fn progress_with_one_node_down_but_not_two() {
+        let log = ReplicatedLog::new(3, DiskConfig::default(), true);
+        log.append(Version(1), &ws(1)).unwrap();
+        log.crash_node(CertifierNodeId(2));
+        assert!(log.is_available());
+        log.append(Version(2), &ws(2)).unwrap();
+        log.crash_node(CertifierNodeId(1));
+        assert!(!log.is_available());
+        assert!(matches!(
+            log.append(Version(3), &ws(3)),
+            Err(Error::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn leader_failover_and_recovery_with_state_transfer() {
+        let log = ReplicatedLog::new(3, DiskConfig::default(), true);
+        assert_eq!(log.leader(), CertifierNodeId(0));
+        for i in 1..=4 {
+            log.append(Version(i), &ws(i as i64)).unwrap();
+        }
+        // Crash the leader: node 1 takes over and progress continues.
+        log.crash_node(CertifierNodeId(0));
+        assert_eq!(log.leader(), CertifierNodeId(1));
+        assert!(log.is_available());
+        for i in 5..=8 {
+            log.append(Version(i), &ws(i as i64)).unwrap();
+        }
+        // Node 0 missed entries 5..=8; recovery transfers them.
+        log.recover_node(CertifierNodeId(0)).unwrap();
+        let entries = log.durable_entries(CertifierNodeId(0)).unwrap();
+        assert_eq!(entries.len(), 8);
+        assert_eq!(entries.last().unwrap().0, Version(8));
+        assert_eq!(log.up_count(), 3);
+    }
+
+    #[test]
+    fn non_durable_mode_skips_fsyncs() {
+        let log = ReplicatedLog::new(3, DiskConfig::default(), false);
+        for i in 1..=10 {
+            log.append(Version(i), &ws(i as i64)).unwrap();
+        }
+        let stats = log.stats();
+        assert_eq!(stats.entries, 10);
+        assert_eq!(stats.leader_fsyncs, 0);
+    }
+
+    #[test]
+    fn single_node_group_still_works() {
+        let log = ReplicatedLog::new(1, DiskConfig::default(), true);
+        assert_eq!(log.majority(), 1);
+        log.append(Version(1), &ws(1)).unwrap();
+        assert_eq!(log.durable_entries(CertifierNodeId(0)).unwrap().len(), 1);
+        log.crash_node(CertifierNodeId(0));
+        assert!(!log.is_available());
+    }
+}

@@ -1,0 +1,399 @@
+//! System variants and cluster configuration.
+//!
+//! The paper evaluates three otherwise-identical replication systems that
+//! differ only in where durability lives and whether the database is told the
+//! global commit order:
+//!
+//! | System | Ordering | Durability | Commits at the replica |
+//! |--------|----------|------------|------------------------|
+//! | `Base` | middleware | database (synchronous WAL) | serial, one fsync each |
+//! | `Tashkent-MW` | middleware | middleware (certifier log) | serial but in-memory |
+//! | `Tashkent-API` | middleware → database (`COMMIT <seq>`) | database | concurrent, group-committed |
+//!
+//! [`SystemKind`] selects the variant; [`ClusterConfig`] describes a whole
+//! deployment (replica count, certifier group size, IO-channel layout,
+//! service times) and is shared by the real engine and the simulator.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the three replication designs a cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Ordering in middleware, durability in the database, serial commits.
+    Base,
+    /// Durability moved to the certifier log; replica commits are in-memory.
+    TashkentMw,
+    /// Durability stays in the database; the middleware passes the commit
+    /// order via the extended `COMMIT <seq>` API.
+    TashkentApi,
+    /// Tashkent-API with the certifier's own durability fsync disabled
+    /// (the `tashAPInoCERT` curve of Figures 4, 6, 8 and 10).  Used only to
+    /// isolate the cost of the extra fsync in the certifier; not a deployable
+    /// configuration because the middleware can no longer recover.
+    TashkentApiNoCertDurability,
+}
+
+impl SystemKind {
+    /// All deployable systems, in the order the paper plots them.
+    pub const ALL: [SystemKind; 3] = [
+        SystemKind::Base,
+        SystemKind::TashkentMw,
+        SystemKind::TashkentApi,
+    ];
+
+    /// All systems including the `tashAPInoCERT` analysis configuration.
+    pub const ALL_WITH_ANALYSIS: [SystemKind; 4] = [
+        SystemKind::Base,
+        SystemKind::TashkentMw,
+        SystemKind::TashkentApi,
+        SystemKind::TashkentApiNoCertDurability,
+    ];
+
+    /// `true` if the database replicas keep durability (synchronous commit
+    /// records), i.e. Base and both Tashkent-API configurations.
+    #[must_use]
+    pub fn database_durable(self) -> bool {
+        !matches!(self, SystemKind::TashkentMw)
+    }
+
+    /// `true` if the certifier synchronously logs certified writesets.
+    ///
+    /// This is required for middleware recovery in every deployable system;
+    /// only the `tashAPInoCERT` analysis configuration turns it off.
+    #[must_use]
+    pub fn certifier_durable(self) -> bool {
+        !matches!(self, SystemKind::TashkentApiNoCertDurability)
+    }
+
+    /// `true` if the replica may submit commits concurrently because the
+    /// commit order is passed to the database (the Tashkent-API systems).
+    #[must_use]
+    pub fn ordered_commit_api(self) -> bool {
+        matches!(
+            self,
+            SystemKind::TashkentApi | SystemKind::TashkentApiNoCertDurability
+        )
+    }
+
+    /// Short label used in benchmark output, matching the paper's curves.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Base => "base",
+            SystemKind::TashkentMw => "tashMW",
+            SystemKind::TashkentApi => "tashAPI",
+            SystemKind::TashkentApiNoCertDurability => "tashAPInoCERT",
+        }
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// WAL synchronisation mode of a database replica.
+///
+/// Mirrors the options Section 7.1 describes for off-the-shelf engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// Every commit record is flushed with a synchronous write (fsync).
+    /// This is the standalone-database default and what Base and
+    /// Tashkent-API use.
+    Durable,
+    /// WAL records are still written (preserving physical data integrity)
+    /// but commits do not wait for the flush; committed transactions may be
+    /// lost on a crash.  "Disable only durability" in Section 7.1, Case 2.
+    NoSyncOnCommit,
+    /// All synchronous WAL activity is disabled; both durability and physical
+    /// data integrity are void on a crash.  "Disable both" in Section 7.1,
+    /// Case 1 — the mode Tashkent-MW uses with PostgreSQL, compensated by
+    /// middleware-driven dumps.
+    Off,
+}
+
+impl SyncMode {
+    /// `true` if a commit waits for a synchronous disk write.
+    #[must_use]
+    pub fn commit_is_synchronous(self) -> bool {
+        matches!(self, SyncMode::Durable)
+    }
+
+    /// `true` if the WAL still protects physical data integrity after a crash.
+    #[must_use]
+    pub fn preserves_integrity(self) -> bool {
+        !matches!(self, SyncMode::Off)
+    }
+}
+
+/// Layout of the disk IO channel(s) at each replica.
+///
+/// The paper's servers have a single disk, so by default the WAL shares the
+/// channel with database page reads and dirty-page writebacks
+/// ("shared IO").  Putting the database in ramdisk dedicates the channel to
+/// logging ("dedicated IO").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoChannelMode {
+    /// One disk shared between WAL logging, page reads and page writebacks.
+    Shared,
+    /// The log has the disk to itself; data pages live in memory (ramdisk).
+    Dedicated,
+}
+
+impl IoChannelMode {
+    /// Label used in figure captions.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            IoChannelMode::Shared => "shared IO",
+            IoChannelMode::Dedicated => "dedicated IO",
+        }
+    }
+}
+
+/// Durations and rates describing the hardware of the paper's testbed.
+///
+/// These are the calibration constants of the performance model; the real
+/// engine also consumes [`ServiceTimes::fsync`] through its simulated disk
+/// device so that functional runs exhibit the same relative costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceTimes {
+    /// Time for one synchronous flush to the disk medium.  Section 9.1
+    /// measures "about 8 ms" with a 6–12 ms spread.
+    pub fsync: Duration,
+    /// Spread added to `fsync` depending on where the data lands on disk.
+    pub fsync_jitter: Duration,
+    /// One-way LAN latency between a proxy and the certifier.
+    pub network_one_way: Duration,
+    /// CPU time to execute one AllUpdates transaction at a replica.
+    pub cpu_allupdates: Duration,
+    /// CPU time to execute one TPC-B transaction at a replica.
+    pub cpu_tpcb: Duration,
+    /// CPU time to execute one TPC-W interaction at a replica (shopping mix
+    /// average; TPC-W is CPU bound).
+    pub cpu_tpcw: Duration,
+    /// CPU time for the certifier to intersection-test one writeset
+    /// ("an order of magnitude less work than executing the transaction").
+    pub certify_cpu: Duration,
+    /// CPU time to apply one remote writeset at a replica (the paper measures
+    /// an apply rate of roughly 900 writesets per second when batched).
+    pub apply_writeset_cpu: Duration,
+    /// Extra non-logging IO pressure on a shared channel per transaction
+    /// (page reads / dirty writebacks competing with the WAL).
+    pub shared_io_overhead: Duration,
+}
+
+impl Default for ServiceTimes {
+    fn default() -> Self {
+        ServiceTimes {
+            fsync: Duration::from_millis(8),
+            fsync_jitter: Duration::from_millis(2),
+            network_one_way: Duration::from_micros(150),
+            cpu_allupdates: Duration::from_micros(600),
+            cpu_tpcb: Duration::from_micros(1800),
+            cpu_tpcw: Duration::from_millis(25),
+            certify_cpu: Duration::from_micros(60),
+            apply_writeset_cpu: Duration::from_micros(800),
+            shared_io_overhead: Duration::from_micros(900),
+        }
+    }
+}
+
+/// Configuration of a whole replicated deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Which replication design to run.
+    pub system: SystemKind,
+    /// Number of database replicas (the paper scales 1–15).
+    pub replicas: usize,
+    /// Number of certifier nodes (the paper uses a leader plus two backups).
+    pub certifiers: usize,
+    /// Closed-loop clients attached to each replica.
+    pub clients_per_replica: usize,
+    /// IO channel layout at the replicas.
+    pub io_mode: IoChannelMode,
+    /// Hardware service times.
+    pub service_times: ServiceTimes,
+    /// Fraction of certification requests the certifier aborts at random
+    /// *after* performing the full check (Section 9.5's forced abort rates).
+    pub forced_abort_rate: f64,
+    /// If a replica hears nothing from the certifier for this long, its proxy
+    /// proactively fetches remote writesets (bounded staleness, Section 6.2).
+    pub staleness_bound: Duration,
+    /// Enable local certification at the proxy (Section 6.2 optimisation).
+    pub local_certification: bool,
+    /// Enable eager pre-certification / deadlock avoidance (Section 8.2).
+    pub eager_precertification: bool,
+}
+
+impl ClusterConfig {
+    /// A small configuration convenient for tests and the quickstart example.
+    #[must_use]
+    pub fn small(system: SystemKind) -> Self {
+        ClusterConfig {
+            system,
+            replicas: 2,
+            certifiers: 3,
+            clients_per_replica: 2,
+            io_mode: IoChannelMode::Dedicated,
+            service_times: ServiceTimes {
+                // Keep functional tests fast: a tiny but non-zero fsync so
+                // grouping behaviour is still observable.
+                fsync: Duration::from_micros(200),
+                fsync_jitter: Duration::from_micros(0),
+                network_one_way: Duration::from_micros(0),
+                ..ServiceTimes::default()
+            },
+            forced_abort_rate: 0.0,
+            staleness_bound: Duration::from_millis(50),
+            local_certification: true,
+            eager_precertification: true,
+        }
+    }
+
+    /// The paper's testbed configuration for a given system and replica count.
+    #[must_use]
+    pub fn paper(system: SystemKind, replicas: usize, io_mode: IoChannelMode) -> Self {
+        ClusterConfig {
+            system,
+            replicas,
+            certifiers: 3,
+            clients_per_replica: 10,
+            io_mode,
+            service_times: ServiceTimes::default(),
+            forced_abort_rate: 0.0,
+            staleness_bound: Duration::from_secs(2),
+            local_certification: true,
+            eager_precertification: true,
+        }
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the replica count or certifier group is empty, the
+    /// abort rate is outside `[0, 1]`, or no clients are configured.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.replicas == 0 {
+            return Err("a cluster needs at least one replica".to_owned());
+        }
+        if self.certifiers == 0 {
+            return Err("a cluster needs at least one certifier".to_owned());
+        }
+        if self.clients_per_replica == 0 {
+            return Err("each replica needs at least one client".to_owned());
+        }
+        if !(0.0..=1.0).contains(&self.forced_abort_rate) {
+            return Err(format!(
+                "forced abort rate {} outside [0, 1]",
+                self.forced_abort_rate
+            ));
+        }
+        Ok(())
+    }
+
+    /// Majority size of the certifier group (progress requires this many
+    /// certifiers up, Section 7).
+    #[must_use]
+    pub fn certifier_majority(&self) -> usize {
+        self.certifiers / 2 + 1
+    }
+
+    /// The WAL sync mode a replica database should run with under this
+    /// system (Tashkent-MW disables synchronous writes, everything else keeps
+    /// them).
+    #[must_use]
+    pub fn replica_sync_mode(&self) -> SyncMode {
+        if self.system.database_durable() {
+            SyncMode::Durable
+        } else {
+            SyncMode::Off
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_kind_properties_match_paper_table() {
+        assert!(SystemKind::Base.database_durable());
+        assert!(SystemKind::TashkentApi.database_durable());
+        assert!(!SystemKind::TashkentMw.database_durable());
+
+        assert!(SystemKind::Base.certifier_durable());
+        assert!(SystemKind::TashkentMw.certifier_durable());
+        assert!(SystemKind::TashkentApi.certifier_durable());
+        assert!(!SystemKind::TashkentApiNoCertDurability.certifier_durable());
+
+        assert!(!SystemKind::Base.ordered_commit_api());
+        assert!(!SystemKind::TashkentMw.ordered_commit_api());
+        assert!(SystemKind::TashkentApi.ordered_commit_api());
+        assert!(SystemKind::TashkentApiNoCertDurability.ordered_commit_api());
+    }
+
+    #[test]
+    fn labels_match_figure_legends() {
+        assert_eq!(SystemKind::Base.to_string(), "base");
+        assert_eq!(SystemKind::TashkentMw.to_string(), "tashMW");
+        assert_eq!(SystemKind::TashkentApi.to_string(), "tashAPI");
+        assert_eq!(
+            SystemKind::TashkentApiNoCertDurability.to_string(),
+            "tashAPInoCERT"
+        );
+        assert_eq!(IoChannelMode::Shared.label(), "shared IO");
+        assert_eq!(IoChannelMode::Dedicated.label(), "dedicated IO");
+    }
+
+    #[test]
+    fn sync_mode_semantics() {
+        assert!(SyncMode::Durable.commit_is_synchronous());
+        assert!(!SyncMode::NoSyncOnCommit.commit_is_synchronous());
+        assert!(!SyncMode::Off.commit_is_synchronous());
+        assert!(SyncMode::Durable.preserves_integrity());
+        assert!(SyncMode::NoSyncOnCommit.preserves_integrity());
+        assert!(!SyncMode::Off.preserves_integrity());
+    }
+
+    #[test]
+    fn cluster_config_validation() {
+        let mut cfg = ClusterConfig::small(SystemKind::Base);
+        assert!(cfg.validate().is_ok());
+        cfg.replicas = 0;
+        assert!(cfg.validate().is_err());
+        cfg.replicas = 1;
+        cfg.forced_abort_rate = 1.5;
+        assert!(cfg.validate().is_err());
+        cfg.forced_abort_rate = 0.2;
+        cfg.certifiers = 0;
+        assert!(cfg.validate().is_err());
+        cfg.certifiers = 3;
+        cfg.clients_per_replica = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn majority_and_sync_mode_derivation() {
+        let cfg = ClusterConfig::paper(SystemKind::TashkentMw, 15, IoChannelMode::Shared);
+        assert_eq!(cfg.certifier_majority(), 2);
+        assert_eq!(cfg.replica_sync_mode(), SyncMode::Off);
+        let cfg = ClusterConfig::paper(SystemKind::Base, 4, IoChannelMode::Dedicated);
+        assert_eq!(cfg.replica_sync_mode(), SyncMode::Durable);
+        assert_eq!(cfg.clients_per_replica, 10);
+    }
+
+    #[test]
+    fn default_service_times_match_measurements() {
+        let st = ServiceTimes::default();
+        assert_eq!(st.fsync, Duration::from_millis(8));
+        assert!(st.certify_cpu < st.cpu_allupdates);
+        // Certification is an order of magnitude cheaper than execution.
+        assert!(st.cpu_allupdates.as_micros() >= 10 * st.certify_cpu.as_micros());
+    }
+}

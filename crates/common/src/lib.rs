@@ -1,0 +1,41 @@
+//! Shared vocabulary types for the Tashkent replicated database reproduction.
+//!
+//! This crate defines the types that flow between every component of the
+//! system described in *"Tashkent: Uniting Durability with Transaction
+//! Ordering for High-Performance Scalable Database Replication"*
+//! (Elnikety, Dropsho, Pedone — EuroSys 2006):
+//!
+//! * [`ids`] — identifiers and the global [`ids::Version`] counter that names
+//!   database snapshots.
+//! * [`value`] — the column value model used by the storage engine and by
+//!   writesets.
+//! * [`writeset`] — writeset representation and the intersection test that
+//!   the certifier uses to detect write-write conflicts.
+//! * [`config`] — the replication system variants (`Base`, `Tashkent-MW`,
+//!   `Tashkent-API`), WAL synchronisation modes, IO-channel layouts and
+//!   whole-cluster configuration.
+//! * [`error`] — the common error type.
+//! * [`stats`] — latency histograms, counters and throughput meters used by
+//!   the benchmark harness and by the examples.
+//!
+//! Everything here is deliberately free of threads and IO so that both the
+//! real multi-threaded engine (`tashkent-storage`, `tashkent-certifier`,
+//! `tashkent-proxy`, `tashkent`) and the discrete-event performance model
+//! (`tashkent-sim`) can share it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod stats;
+pub mod value;
+pub mod writeset;
+
+pub use config::{ClusterConfig, IoChannelMode, SyncMode, SystemKind};
+pub use error::{Error, Result};
+pub use ids::{ClientId, ReplicaId, TxId, Version};
+pub use value::Value;
+pub use stats::{GroupCommitStats, LatencyHistogram, RunStats, Series, SeriesPoint};
+pub use writeset::{RowKey, TableId, VersionedWriteSet, WriteItem, WriteOp, WriteSet};

@@ -1,0 +1,93 @@
+//! Property-based tests for writeset intersection.
+//!
+//! The certifier's correctness hinges entirely on the conflict test, so we
+//! check it against a naive reference model on arbitrary writesets.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use tashkent_common::{RowKey, TableId, Value, WriteItem, WriteSet};
+
+/// Reference implementation: quadratic scan over both item lists.
+fn naive_conflict(a: &WriteSet, b: &WriteSet) -> bool {
+    for x in a.items() {
+        for y in b.items() {
+            if x.table == y.table && x.key == y.key {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn arb_writeset(max_items: usize) -> impl Strategy<Value = WriteSet> {
+    prop::collection::vec((0u32..4, 0i64..50), 0..max_items).prop_map(|pairs| {
+        WriteSet::from_items(
+            pairs
+                .into_iter()
+                .map(|(t, k)| {
+                    WriteItem::update(TableId(t), k, vec![("c".to_string(), Value::Int(k))])
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn conflict_matches_naive_model(a in arb_writeset(12), b in arb_writeset(12)) {
+        prop_assert_eq!(a.conflicts_with(&b), naive_conflict(&a, &b));
+    }
+
+    #[test]
+    fn conflict_is_symmetric(a in arb_writeset(12), b in arb_writeset(12)) {
+        prop_assert_eq!(a.conflicts_with(&b), b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn empty_never_conflicts(a in arb_writeset(12)) {
+        let empty = WriteSet::new();
+        prop_assert!(!a.conflicts_with(&empty));
+        prop_assert!(!empty.conflicts_with(&a));
+    }
+
+    #[test]
+    fn self_conflict_iff_non_empty(a in arb_writeset(12)) {
+        prop_assert_eq!(a.conflicts_with(&a), !a.is_empty());
+    }
+
+    #[test]
+    fn footprint_conflict_agrees_with_direct_test(a in arb_writeset(12), b in arb_writeset(12)) {
+        // `conflicts_with_footprint` is the cached fast path the certifier
+        // uses; it must agree with the direct test whenever `a` is non-empty.
+        let fp: HashSet<_> = a.footprint();
+        if !b.is_empty() {
+            prop_assert_eq!(b.conflicts_with_footprint(&fp), a.conflicts_with(&b));
+        }
+    }
+
+    #[test]
+    fn merged_conflicts_iff_any_constituent_conflicts(
+        a in arb_writeset(8),
+        b in arb_writeset(8),
+        probe in arb_writeset(8),
+    ) {
+        let merged = WriteSet::merged([&a, &b]);
+        let expected = probe.conflicts_with(&a) || probe.conflicts_with(&b);
+        prop_assert_eq!(merged.conflicts_with(&probe), expected);
+    }
+
+    #[test]
+    fn merged_length_is_sum(a in arb_writeset(8), b in arb_writeset(8)) {
+        let merged = WriteSet::merged([&a, &b]);
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn encoded_len_is_monotone_in_items(a in arb_writeset(8)) {
+        // Adding an item never shrinks the encoded size.
+        let mut grown = a.clone();
+        grown.push(WriteItem::delete(TableId(0), RowKey::Int(999)));
+        prop_assert!(grown.encoded_len() > a.encoded_len());
+    }
+}

@@ -1,0 +1,333 @@
+//! The replicated cluster: replicas + certifier group + client sessions.
+
+use std::sync::Arc;
+
+use tashkent_certifier::{Certifier, CertifierConfig, CertifierNodeId, CertifierStats};
+use tashkent_common::{
+    ClusterConfig, Error, ReplicaId, Result, SystemKind, TableId, Version,
+};
+use tashkent_proxy::{Proxy, ProxyStats, ProxyTransaction};
+use tashkent_storage::disk::DiskConfig;
+
+use crate::replica::ReplicaNode;
+
+/// Aggregate statistics of a cluster.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Per-replica proxy statistics.
+    pub proxies: Vec<ProxyStats>,
+    /// Certifier statistics.
+    pub certifier: Option<CertifierStats>,
+    /// Total committed update transactions across all replicas.
+    pub update_commits: u64,
+    /// Total committed read-only transactions.
+    pub read_only_commits: u64,
+    /// Total aborted transactions (local, certifier and engine aborts).
+    pub aborts: u64,
+}
+
+/// A running in-process replicated database cluster.
+pub struct Cluster {
+    config: ClusterConfig,
+    certifier: Arc<Certifier>,
+    replicas: Vec<Arc<ReplicaNode>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("system", &self.config.system)
+            .field("replicas", &self.replicas.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Builds a cluster from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(config: ClusterConfig) -> Result<Self> {
+        config.validate().map_err(Error::InvalidConfig)?;
+        let certifier = Arc::new(Certifier::new(CertifierConfig {
+            nodes: config.certifiers,
+            disk: DiskConfig {
+                fsync_latency: config.service_times.fsync,
+                fsync_jitter: config.service_times.fsync_jitter,
+                contention_latency: std::time::Duration::ZERO,
+                sleep: false,
+            },
+            durable: config.system.certifier_durable(),
+            forced_abort_rate: config.forced_abort_rate,
+            seed: 0x7A5B_1001,
+        }));
+        let replicas = (0..config.replicas)
+            .map(|i| {
+                Arc::new(ReplicaNode::new(
+                    ReplicaId(i as u32),
+                    &config,
+                    Arc::clone(&certifier),
+                ))
+            })
+            .collect();
+        Ok(Cluster {
+            config,
+            certifier,
+            replicas,
+        })
+    }
+
+    /// The cluster's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The replication design this cluster runs.
+    #[must_use]
+    pub fn system(&self) -> SystemKind {
+        self.config.system
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The shared certifier component.
+    #[must_use]
+    pub fn certifier(&self) -> Arc<Certifier> {
+        Arc::clone(&self.certifier)
+    }
+
+    /// Access to one replica node (for fault injection and inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    #[must_use]
+    pub fn replica(&self, replica: usize) -> Arc<ReplicaNode> {
+        Arc::clone(&self.replicas[replica])
+    }
+
+    /// Registers a table on every replica and returns its identifier.
+    pub fn create_table(&self, name: &str, columns: &[&str]) -> TableId {
+        for replica in &self.replicas {
+            replica.create_table(name, columns);
+        }
+        self.replicas[0]
+            .database()
+            .table_id(name)
+            .expect("table was just created")
+    }
+
+    /// A client session bound to one replica (clients always talk to a single
+    /// replica, as in the paper's model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    #[must_use]
+    pub fn session(&self, replica: usize) -> Session {
+        Session {
+            proxy: self.replicas[replica].proxy(),
+        }
+    }
+
+    /// The global system version at the certifier.
+    #[must_use]
+    pub fn system_version(&self) -> Version {
+        self.certifier.system_version()
+    }
+
+    /// Brings every (non-crashed) replica up to date with the certifier
+    /// (each proxy performs a bounded-staleness refresh).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the certifier majority is unavailable.
+    pub fn sync_all(&self) -> Result<usize> {
+        let mut applied = 0;
+        for replica in &self.replicas {
+            if !replica.is_crashed() {
+                applied += replica.proxy().refresh()?;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Crashes one certifier node.
+    pub fn crash_certifier_node(&self, node: CertifierNodeId) {
+        self.certifier.crash_node(node);
+    }
+
+    /// Recovers one certifier node via state transfer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no up node can donate its log.
+    pub fn recover_certifier_node(&self, node: CertifierNodeId) -> Result<()> {
+        self.certifier.recover_node(node)
+    }
+
+    /// Aggregated statistics across the cluster.
+    #[must_use]
+    pub fn stats(&self) -> ClusterStats {
+        let proxies: Vec<ProxyStats> = self
+            .replicas
+            .iter()
+            .map(|r| r.proxy().stats())
+            .collect();
+        let update_commits = proxies.iter().map(|p| p.update_commits).sum();
+        let read_only_commits = proxies.iter().map(|p| p.read_only_commits).sum();
+        let aborts = proxies
+            .iter()
+            .map(|p| p.local_certification_aborts + p.certifier_aborts + p.engine_aborts)
+            .sum();
+        ClusterStats {
+            proxies,
+            certifier: Some(self.certifier.stats()),
+            update_commits,
+            read_only_commits,
+            aborts,
+        }
+    }
+
+    /// Checks that every non-crashed replica is a consistent prefix of the
+    /// certifier's log: its version never exceeds the system version, and
+    /// after [`Cluster::sync_all`] all replicas hold identical versions.
+    ///
+    /// Returns the list of replica versions.
+    #[must_use]
+    pub fn replica_versions(&self) -> Vec<(ReplicaId, Version)> {
+        self.replicas
+            .iter()
+            .map(|r| (r.id(), r.version()))
+            .collect()
+    }
+}
+
+/// A client session bound to one replica.
+pub struct Session {
+    proxy: Proxy,
+}
+
+impl Session {
+    /// Begins a transaction on this session's replica.
+    #[must_use]
+    pub fn begin(&self) -> ProxyTransaction {
+        self.proxy.begin()
+    }
+
+    /// The replica this session talks to.
+    #[must_use]
+    pub fn replica(&self) -> ReplicaId {
+        self.proxy.replica()
+    }
+
+    /// The proxy behind this session.
+    #[must_use]
+    pub fn proxy(&self) -> &Proxy {
+        &self.proxy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tashkent_common::Value;
+
+    use super::*;
+
+    fn small(system: SystemKind) -> Cluster {
+        Cluster::new(ClusterConfig::small(system)).unwrap()
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut config = ClusterConfig::small(SystemKind::Base);
+        config.replicas = 0;
+        assert!(matches!(
+            Cluster::new(config),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn all_systems_replicate_a_simple_update() {
+        for system in SystemKind::ALL {
+            let cluster = small(system);
+            let t = cluster.create_table("kv", &["v"]);
+            let tx = cluster.session(0).begin();
+            tx.insert(t, 1, vec![("v".into(), Value::Int(7))]).unwrap();
+            tx.commit().unwrap();
+            cluster.sync_all().unwrap();
+            for r in 0..cluster.replica_count() {
+                let tx = cluster.session(r).begin();
+                let row = tx.read(t, 1).unwrap().unwrap();
+                assert_eq!(row.get("v"), Some(&Value::Int(7)), "system {system}");
+                tx.commit().unwrap();
+            }
+            assert_eq!(cluster.system_version(), Version(1));
+            let versions = cluster.replica_versions();
+            assert!(versions.iter().all(|(_, v)| *v == Version(1)));
+            let stats = cluster.stats();
+            assert_eq!(stats.update_commits, 1);
+            assert!(stats.read_only_commits >= 2);
+        }
+    }
+
+    #[test]
+    fn replica_crash_and_recovery_preserves_committed_state() {
+        for system in SystemKind::ALL {
+            let cluster = small(system);
+            let t = cluster.create_table("kv", &["v"]);
+            for i in 0..10 {
+                let tx = cluster.session(0).begin();
+                tx.insert(t, i, vec![("v".into(), Value::Int(i))]).unwrap();
+                tx.commit().unwrap();
+            }
+            cluster.sync_all().unwrap();
+            // Tashkent-MW relies on dumps for recovery.
+            cluster.replica(1).take_dump();
+            // More commits after the dump.
+            for i in 10..15 {
+                let tx = cluster.session(0).begin();
+                tx.insert(t, i, vec![("v".into(), Value::Int(i))]).unwrap();
+                tx.commit().unwrap();
+            }
+            cluster.replica(1).crash();
+            assert!(cluster.replica(1).is_crashed());
+            cluster.replica(1).recover().unwrap();
+            // The recovered replica holds every committed row.
+            let tx = cluster.session(1).begin();
+            for i in 0..15 {
+                let row = tx.read(t, i).unwrap().unwrap();
+                assert_eq!(row.get("v"), Some(&Value::Int(i)), "system {system}");
+            }
+            tx.commit().unwrap();
+            assert_eq!(cluster.replica(1).version(), Version(15));
+        }
+    }
+
+    #[test]
+    fn certifier_failover_keeps_the_cluster_available() {
+        let cluster = small(SystemKind::TashkentMw);
+        let t = cluster.create_table("kv", &["v"]);
+        let commit = |k: i64| {
+            let tx = cluster.session(0).begin();
+            tx.insert(t, k, vec![("v".into(), Value::Int(k))]).unwrap();
+            tx.commit()
+        };
+        commit(1).unwrap();
+        cluster.crash_certifier_node(CertifierNodeId(0));
+        commit(2).unwrap();
+        cluster.crash_certifier_node(CertifierNodeId(1));
+        assert!(matches!(commit(3), Err(Error::Unavailable(_))));
+        cluster.recover_certifier_node(CertifierNodeId(1)).unwrap();
+        commit(4).unwrap();
+        assert_eq!(cluster.system_version(), Version(3));
+    }
+}

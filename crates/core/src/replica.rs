@@ -1,0 +1,196 @@
+//! One database replica together with its transparent proxy.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use tashkent_certifier::Certifier;
+use tashkent_common::{ClusterConfig, ReplicaId, Result, SyncMode, SystemKind, Version};
+use tashkent_proxy::{recover_base_or_api_replica, recover_mw_replica, Proxy, ProxyConfig};
+use tashkent_storage::disk::DiskConfig;
+use tashkent_storage::{Database, EngineConfig};
+
+/// A database replica, its proxy, and the recovery material the middleware
+/// keeps for it (dump files for Tashkent-MW).
+pub struct ReplicaNode {
+    id: ReplicaId,
+    system: SystemKind,
+    engine_config: EngineConfig,
+    schema: Mutex<Vec<(String, Vec<String>)>>,
+    db: Mutex<Database>,
+    proxy: Mutex<Proxy>,
+    certifier: Arc<Certifier>,
+    /// Stored dump images, most recent last (Tashkent-MW recovery).
+    dumps: Mutex<Vec<Vec<u8>>>,
+    proxy_config: ProxyConfig,
+}
+
+impl std::fmt::Debug for ReplicaNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaNode")
+            .field("id", &self.id)
+            .field("system", &self.system)
+            .finish()
+    }
+}
+
+impl ReplicaNode {
+    /// Creates a fresh replica for the given cluster configuration.
+    #[must_use]
+    pub fn new(id: ReplicaId, config: &ClusterConfig, certifier: Arc<Certifier>) -> Self {
+        let sync_mode = config.replica_sync_mode();
+        let engine_config = EngineConfig {
+            sync_mode,
+            disk: DiskConfig {
+                fsync_latency: config.service_times.fsync,
+                fsync_jitter: config.service_times.fsync_jitter,
+                contention_latency: Duration::ZERO,
+                sleep: false,
+            },
+            ordered_commit_timeout: Duration::from_secs(1),
+        };
+        let db = Database::new(engine_config.clone());
+        let proxy_config = ProxyConfig {
+            system: config.system,
+            replica: id,
+            local_certification: config.local_certification,
+            eager_precertification: config.eager_precertification,
+            staleness_bound: config.staleness_bound,
+        };
+        let proxy = Proxy::new(proxy_config.clone(), db.clone(), Arc::clone(&certifier));
+        ReplicaNode {
+            id,
+            system: config.system,
+            engine_config,
+            schema: Mutex::new(Vec::new()),
+            db: Mutex::new(db),
+            proxy: Mutex::new(proxy),
+            certifier,
+            dumps: Mutex::new(Vec::new()),
+            proxy_config,
+        }
+    }
+
+    /// The replica's identifier.
+    #[must_use]
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// A handle to the replica's proxy (the client entry point).
+    #[must_use]
+    pub fn proxy(&self) -> Proxy {
+        self.proxy.lock().clone()
+    }
+
+    /// A handle to the replica's database engine.
+    #[must_use]
+    pub fn database(&self) -> Database {
+        self.db.lock().clone()
+    }
+
+    /// Registers a table on this replica (idempotent) and remembers the
+    /// schema for recovery.
+    pub fn create_table(&self, name: &str, columns: &[&str]) {
+        self.database().create_table(name, columns);
+        let mut schema = self.schema.lock();
+        if !schema.iter().any(|(n, _)| n == name) {
+            schema.push((
+                name.to_owned(),
+                columns.iter().map(|c| (*c).to_owned()).collect(),
+            ));
+        }
+    }
+
+    /// The replica's current version.
+    #[must_use]
+    pub fn version(&self) -> Version {
+        self.database().version()
+    }
+
+    /// Takes a dump of the replica and stores it as recovery material
+    /// (Tashkent-MW takes these periodically, Section 7.1).  Returns the dump
+    /// size in bytes.
+    pub fn take_dump(&self) -> usize {
+        let bytes = self.database().dump().to_bytes();
+        let len = bytes.len();
+        let mut dumps = self.dumps.lock();
+        dumps.push(bytes);
+        // Keep the two most recent dumps, as the paper's middleware does.
+        let excess = dumps.len().saturating_sub(2);
+        if excess > 0 {
+            dumps.drain(0..excess);
+        }
+        len
+    }
+
+    /// Crashes the replica's database process.
+    pub fn crash(&self) {
+        self.database().crash();
+    }
+
+    /// `true` if the replica has crashed and not yet been recovered.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.database().is_crashed()
+    }
+
+    /// Recovers the replica after a crash, following the procedure of its
+    /// system: WAL redo plus catch-up for Base / Tashkent-API, dump restore
+    /// plus catch-up for Tashkent-MW.  Returns the number of writesets
+    /// re-applied during catch-up.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no recovery material is available (e.g. a Tashkent-MW replica
+    /// that never took a dump and whose WAL is useless), or if the certifier
+    /// is unavailable.
+    pub fn recover(&self) -> Result<usize> {
+        let schema_owned = self.schema.lock().clone();
+        let schema: Vec<(&str, Vec<&str>)> = schema_owned
+            .iter()
+            .map(|(n, cols)| (n.as_str(), cols.iter().map(String::as_str).collect()))
+            .collect();
+        let old_db = self.database();
+        let (new_db, applied) = if self.system == SystemKind::TashkentMw {
+            let dumps = self.dumps.lock().clone();
+            if dumps.is_empty() {
+                // Without a dump the replica restarts empty and replays the
+                // whole certifier log.
+                let db = Database::new(self.engine_config.clone());
+                for (name, columns) in &schema {
+                    db.create_table(name, columns);
+                }
+                let applied = tashkent_proxy::catch_up(&db, &self.certifier)?;
+                (db, applied)
+            } else {
+                recover_mw_replica(self.engine_config.clone(), &dumps, &self.certifier)?
+            }
+        } else {
+            recover_base_or_api_replica(
+                self.engine_config.clone(),
+                old_db.log_device(),
+                &schema,
+                &self.certifier,
+            )?
+        };
+        // Re-register any table missing from the recovery material.
+        for (name, columns) in &schema {
+            new_db.create_table(name, columns);
+        }
+        let new_proxy = Proxy::new(
+            self.proxy_config.clone(),
+            new_db.clone(),
+            Arc::clone(&self.certifier),
+        );
+        *self.db.lock() = new_db;
+        *self.proxy.lock() = new_proxy;
+        Ok(applied)
+    }
+
+    /// The WAL sync mode the replica runs with.
+    #[must_use]
+    pub fn sync_mode(&self) -> SyncMode {
+        self.database().sync_mode()
+    }
+}

@@ -1,0 +1,743 @@
+//! The proxy itself: transaction interception and the three commit pipelines.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use tashkent_certifier::{
+    CertificationDecision, CertificationRequest, Certifier, RemoteWriteSet,
+};
+use tashkent_common::{
+    Error, ReplicaId, Result, RowKey, SystemKind, TableId, Value, Version, WriteSet,
+};
+use tashkent_storage::{Database, Row, TxHandle};
+
+use crate::seen::SeenWriteSets;
+
+/// Configuration of one proxy instance.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Which replication design the cluster runs.
+    pub system: SystemKind,
+    /// The replica this proxy fronts.
+    pub replica: ReplicaId,
+    /// Enable local certification (Section 6.2).
+    pub local_certification: bool,
+    /// Enable eager pre-certification / deadlock avoidance (Section 8.2).
+    pub eager_precertification: bool,
+    /// If the proxy hears nothing from the certifier for this long, it
+    /// proactively fetches remote writesets (bounded staleness, Section 6.2).
+    pub staleness_bound: Duration,
+}
+
+impl ProxyConfig {
+    /// A reasonable default configuration for the given system and replica.
+    #[must_use]
+    pub fn new(system: SystemKind, replica: ReplicaId) -> Self {
+        ProxyConfig {
+            system,
+            replica,
+            local_certification: true,
+            eager_precertification: true,
+            staleness_bound: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Outcome of a committed proxy transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// The global version created by the commit (update transactions only).
+    pub commit_version: Option<Version>,
+    /// `true` if the transaction was read-only and committed locally without
+    /// certification.
+    pub read_only: bool,
+}
+
+/// Counters exposed by [`Proxy::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct ProxyStats {
+    /// Committed update transactions.
+    pub update_commits: u64,
+    /// Committed read-only transactions.
+    pub read_only_commits: u64,
+    /// Transactions aborted by local certification (before reaching the
+    /// certifier).
+    pub local_certification_aborts: u64,
+    /// Transactions aborted by the certifier.
+    pub certifier_aborts: u64,
+    /// Transactions aborted by the local engine (write conflicts, deadlocks,
+    /// wounds).
+    pub engine_aborts: u64,
+    /// Remote writesets applied to the replica.
+    pub remote_writesets_applied: u64,
+    /// Transactions the replica executed to apply remote writesets (grouped
+    /// applications count once).
+    pub remote_apply_transactions: u64,
+    /// Times the Tashkent-API pipeline had to serialise a remote writeset
+    /// behind an artificial conflict.
+    pub artificial_conflict_barriers: u64,
+    /// Bounded-staleness refreshes performed.
+    pub refreshes: u64,
+    /// Soft-recovery resynchronisations performed.
+    pub resyncs: u64,
+    /// Local transactions wounded by eager pre-certification.
+    pub wounded_transactions: u64,
+}
+
+struct ProxyState {
+    /// Every version at or below this has been scheduled for application or
+    /// local commit at this replica; it is what the proxy reports to the
+    /// certifier as `replica_version`.
+    scheduled_through: Version,
+    /// Dense order indices handed to the ordered-commit API.
+    order_counter: u64,
+    /// Local copy of seen writesets for local certification.
+    seen: SeenWriteSets,
+    /// Last successful contact with the certifier.
+    last_contact: Instant,
+    stats: ProxyStats,
+}
+
+struct ProxyShared {
+    config: ProxyConfig,
+    db: Database,
+    certifier: Arc<Certifier>,
+    state: Mutex<ProxyState>,
+    /// Serialises the apply-remote-writesets / commit phase ([C4]/[C5]) for
+    /// the serial pipelines (Base and Tashkent-MW) and the staleness refresh.
+    apply_lock: Mutex<()>,
+}
+
+/// The transparent proxy attached to one database replica.
+///
+/// Cloning is cheap; all clones share the same proxy state.
+#[derive(Clone)]
+pub struct Proxy {
+    shared: Arc<ProxyShared>,
+}
+
+impl std::fmt::Debug for Proxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proxy")
+            .field("replica", &self.shared.config.replica)
+            .field("system", &self.shared.config.system)
+            .field("replica_version", &self.replica_version())
+            .finish()
+    }
+}
+
+impl Proxy {
+    /// Creates a proxy fronting `db` and talking to `certifier`.
+    #[must_use]
+    pub fn new(config: ProxyConfig, db: Database, certifier: Arc<Certifier>) -> Self {
+        let scheduled_through = db.version();
+        Proxy {
+            shared: Arc::new(ProxyShared {
+                config,
+                db,
+                certifier,
+                state: Mutex::new(ProxyState {
+                    scheduled_through,
+                    order_counter: 0,
+                    seen: SeenWriteSets::new(),
+                    last_contact: Instant::now(),
+                    stats: ProxyStats::default(),
+                }),
+                apply_lock: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// The replica this proxy fronts.
+    #[must_use]
+    pub fn replica(&self) -> ReplicaId {
+        self.shared.config.replica
+    }
+
+    /// The system variant this proxy runs.
+    #[must_use]
+    pub fn system(&self) -> SystemKind {
+        self.shared.config.system
+    }
+
+    /// The database behind this proxy.
+    #[must_use]
+    pub fn database(&self) -> &Database {
+        &self.shared.db
+    }
+
+    /// The replica's version as tracked by the proxy (`replica_version`).
+    #[must_use]
+    pub fn replica_version(&self) -> Version {
+        self.shared.state.lock().scheduled_through
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> ProxyStats {
+        self.shared.state.lock().stats.clone()
+    }
+
+    /// Begins a new client transaction (the proxy intercepting `BEGIN`).
+    #[must_use]
+    pub fn begin(&self) -> ProxyTransaction {
+        // The proxy conservatively labels the transaction with its own
+        // replica_version; the engine may actually give it a slightly newer
+        // snapshot, which is safe under GSI (Section 6.2).
+        let label = self.replica_version();
+        let tx = self.shared.db.begin();
+        ProxyTransaction {
+            proxy: self.clone(),
+            tx,
+            label_version: label,
+        }
+    }
+
+    /// Applies any remote writesets the replica has not seen yet (bounded
+    /// staleness, Section 6.2).  Returns the number of writesets applied.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the certifier majority is unavailable or the database
+    /// crashed.
+    pub fn refresh(&self) -> Result<usize> {
+        let since = self.replica_version();
+        let remotes = self.shared.certifier.writesets_after(since);
+        if remotes.is_empty() {
+            self.shared.state.lock().last_contact = Instant::now();
+            return Ok(0);
+        }
+        let _guard = self.shared.apply_lock.lock();
+        let count = {
+            let mut state = self.shared.state.lock();
+            state.stats.refreshes += 1;
+            state.last_contact = Instant::now();
+            drop(state);
+            self.apply_remotes_serial(&remotes)?
+        };
+        Ok(count)
+    }
+
+    /// Calls [`Proxy::refresh`] if the staleness bound has elapsed since the
+    /// last certifier contact.  Returns the number of writesets applied, or
+    /// zero if no refresh was due.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Proxy::refresh`].
+    pub fn maybe_refresh(&self) -> Result<usize> {
+        let due = {
+            let state = self.shared.state.lock();
+            state.last_contact.elapsed() >= self.shared.config.staleness_bound
+        };
+        if due {
+            self.refresh()
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Soft recovery (Section 8.1): aborts nothing that is still running, but
+    /// fast-forwards the ordered-commit bookkeeping and re-applies, serially,
+    /// every writeset the replica is missing.  Used after an error in the
+    /// concurrent Tashkent-API pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the certifier is unavailable or the database crashed.
+    pub fn resync(&self) -> Result<usize> {
+        let _guard = self.shared.apply_lock.lock();
+        {
+            let mut state = self.shared.state.lock();
+            state.stats.resyncs += 1;
+            // Declare all handed-out order indices consumed so that future
+            // ordered commits do not wait on indices burned by failures.
+            self.shared.db.force_announce_counter(state.order_counter);
+            // Scheduling restarts from what the database actually holds.
+            state.scheduled_through = self.shared.db.version();
+        }
+        let since = self.shared.db.version();
+        let remotes = self.shared.certifier.writesets_after(since);
+        self.apply_remotes_serial(&remotes)
+    }
+
+    // ----- internals -----
+
+    /// Wound active local transactions whose partial writesets conflict with
+    /// an incoming remote writeset (eager pre-certification, Section 8.2).
+    fn wound_conflicting_locals(&self, remote: &WriteSet, committing: Option<&TxHandle>) {
+        if !self.shared.config.eager_precertification {
+            return;
+        }
+        let committing_id = committing.map(TxHandle::id);
+        let mut wounded = 0;
+        for (tx_id, partial) in self.shared.db.active_update_writesets() {
+            if Some(tx_id) == committing_id {
+                continue;
+            }
+            if partial.conflicts_with(remote) {
+                // Abort the conflicting local transaction outright: it holds
+                // write locks the certified remote writeset needs, and it is
+                // doomed to fail certification anyway because the remote
+                // writeset committed after its snapshot.
+                self.shared.db.abort_transaction(tx_id);
+                wounded += 1;
+            }
+        }
+        if wounded > 0 {
+            self.shared.state.lock().stats.wounded_transactions += wounded;
+        }
+    }
+
+    /// Serially applies a list of remote writesets (grouped into a single
+    /// replica transaction), updating the scheduling state.  Used by Base,
+    /// Tashkent-MW, refresh and resync.
+    fn apply_remotes_serial(&self, remotes: &[RemoteWriteSet]) -> Result<usize> {
+        // Filter to versions not yet scheduled and record them.
+        let (to_apply, target_version) = {
+            let mut state = self.shared.state.lock();
+            let base = state.scheduled_through;
+            let to_apply: Vec<&RemoteWriteSet> = remotes
+                .iter()
+                .filter(|r| r.commit_version > base)
+                .collect();
+            let target = to_apply
+                .last()
+                .map_or(base, |r| r.commit_version);
+            for remote in &to_apply {
+                state.seen.record(remote.commit_version, &remote.writeset);
+            }
+            state.scheduled_through = target;
+            (
+                to_apply.iter().map(|r| (*r).clone()).collect::<Vec<_>>(),
+                target,
+            )
+        };
+        if to_apply.is_empty() {
+            return Ok(0);
+        }
+        let merged = WriteSet::merged(to_apply.iter().map(|r| &r.writeset));
+        self.wound_conflicting_locals(&merged, None);
+        self.shared.db.apply_writeset(&merged, target_version)?;
+        let mut state = self.shared.state.lock();
+        state.stats.remote_writesets_applied += to_apply.len() as u64;
+        state.stats.remote_apply_transactions += 1;
+        Ok(to_apply.len())
+    }
+
+    /// The serial commit pipeline used by Base and Tashkent-MW
+    /// (steps [C4] and [C5], serialised).
+    fn commit_serial(
+        &self,
+        tx: &TxHandle,
+        decision_commit: bool,
+        commit_version: Option<Version>,
+        remotes: &[RemoteWriteSet],
+        writeset: &WriteSet,
+    ) -> Result<CommitOutcome> {
+        let _guard = self.shared.apply_lock.lock();
+        // An aborted local transaction is rolled back before the remote
+        // writesets are applied: it may hold write locks on rows the remote
+        // writesets are about to modify.
+        if !decision_commit {
+            tx.abort();
+        }
+        // [C4] apply the grouped remote writesets in their own transaction.
+        self.apply_remotes_serial(remotes)?;
+        // [C5] finalise the local commit.
+        if !decision_commit {
+            let mut state = self.shared.state.lock();
+            state.stats.certifier_aborts += 1;
+            return Err(Error::CertificationFailed {
+                start_version: tx.start_version(),
+                detail: "certifier aborted the transaction".into(),
+            });
+        }
+        let version = commit_version.expect("commit decision carries a version");
+        let already_applied = {
+            let mut state = self.shared.state.lock();
+            if version <= state.scheduled_through {
+                // Another client of this replica already scheduled this
+                // version through the remote-writeset path.
+                true
+            } else {
+                state.seen.record(version, writeset);
+                state.scheduled_through = version;
+                false
+            }
+        };
+        if already_applied || version <= self.shared.db.version() {
+            // The effects of this transaction already reached the replica via
+            // the remote-writeset path (possible when another client of the
+            // same replica scheduled it first); committing again would apply
+            // them twice.
+            tx.abort();
+        } else if let Err(e) = tx.commit_at(version) {
+            // The local transaction may have been aborted under us by eager
+            // pre-certification (a certified remote writeset needed one of
+            // its locks).  Its certified effects are recovered by a resync;
+            // the client sees a retryable conflict.
+            self.resync()?;
+            let mut state = self.shared.state.lock();
+            state.stats.engine_aborts += 1;
+            drop(state);
+            return Err(match e {
+                Error::InvalidTransactionState { tx, .. } => Error::WriteConflict {
+                    tx,
+                    detail: "transaction aborted by a conflicting remote writeset".into(),
+                },
+                other => other,
+            });
+        }
+        self.shared.state.lock().stats.update_commits += 1;
+        Ok(CommitOutcome {
+            commit_version: Some(version),
+            read_only: false,
+        })
+    }
+
+    /// The concurrent commit pipeline of Tashkent-API: remote writesets and
+    /// the local commit are submitted together; the database groups their
+    /// commit records and announces them in global order.
+    fn commit_concurrent(
+        &self,
+        tx: &TxHandle,
+        decision_commit: bool,
+        commit_version: Option<Version>,
+        remotes: &[RemoteWriteSet],
+        writeset: &WriteSet,
+    ) -> Result<CommitOutcome> {
+        // An aborted local transaction is rolled back up front: it may hold
+        // write locks on rows the remote writesets are about to modify.
+        if !decision_commit {
+            tx.abort();
+        }
+        // Schedule: assign dense order indices in global version order to
+        // every not-yet-scheduled remote writeset plus (if certified) the
+        // local commit.
+        struct ScheduledRemote {
+            remote: RemoteWriteSet,
+            order_index: u64,
+            needs_barrier: bool,
+        }
+        let (scheduled, own_slot, base_version) = {
+            let mut state = self.shared.state.lock();
+            let base = state.scheduled_through;
+            let mut scheduled = Vec::new();
+            for remote in remotes {
+                if remote.commit_version <= base {
+                    continue;
+                }
+                state.order_counter += 1;
+                // An artificial conflict exists when the remote writeset is
+                // NOT conflict-free back to the replica's scheduled version:
+                // it must wait for the conflicting version to commit first.
+                let needs_barrier = remote.conflict_free_to > base;
+                state.seen.record(remote.commit_version, &remote.writeset);
+                state.scheduled_through = remote.commit_version;
+                scheduled.push(ScheduledRemote {
+                    remote: remote.clone(),
+                    order_index: state.order_counter,
+                    needs_barrier,
+                });
+            }
+            let own_slot = if decision_commit {
+                let version = commit_version.expect("commit decision carries a version");
+                if version <= state.scheduled_through {
+                    // Already covered by the remote path (another client of
+                    // this replica scheduled it).
+                    None
+                } else {
+                    state.order_counter += 1;
+                    state.seen.record(version, writeset);
+                    state.scheduled_through = version;
+                    Some((state.order_counter, version))
+                }
+            } else {
+                None
+            };
+            (scheduled, own_slot, base)
+        };
+        let _ = base_version;
+
+        // Submit remote writesets concurrently, inserting a barrier before
+        // any writeset with an artificial conflict.
+        let mut handles: Vec<thread::JoinHandle<Result<Version>>> = Vec::new();
+        let mut failures: Vec<Error> = Vec::new();
+        let mut applied = 0u64;
+        let mut apply_transactions = 0u64;
+        let mut barriers = 0u64;
+        for item in scheduled {
+            if item.needs_barrier && !handles.is_empty() {
+                barriers += 1;
+                for handle in handles.drain(..) {
+                    match handle.join() {
+                        Ok(Ok(_)) => apply_transactions += 1,
+                        Ok(Err(e)) => failures.push(e),
+                        Err(_) => failures.push(Error::Protocol("apply thread panicked".into())),
+                    }
+                }
+            }
+            self.wound_conflicting_locals(&item.remote.writeset, Some(tx));
+            let db = self.shared.db.clone();
+            let remote = item.remote;
+            let order_index = item.order_index;
+            applied += 1;
+            handles.push(thread::spawn(move || {
+                db.apply_writeset_ordered(&remote.writeset, remote.commit_version, order_index)
+            }));
+        }
+
+        // Submit the local commit (or abort) concurrently with the remotes.
+        let outcome = if !decision_commit {
+            None
+        } else if let Some((order_index, version)) = own_slot {
+            match tx.commit_ordered(order_index, version) {
+                Ok(v) => Some(v),
+                Err(e) => {
+                    failures.push(e);
+                    None
+                }
+            }
+        } else {
+            // Effects already applied through the remote path.
+            tx.abort();
+            commit_version
+        };
+
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(_)) => apply_transactions += 1,
+                Ok(Err(e)) => failures.push(e),
+                Err(_) => failures.push(Error::Protocol("apply thread panicked".into())),
+            }
+        }
+        {
+            let mut state = self.shared.state.lock();
+            state.stats.remote_writesets_applied += applied;
+            state.stats.remote_apply_transactions += apply_transactions;
+            state.stats.artificial_conflict_barriers += barriers;
+        }
+
+        if !failures.is_empty() {
+            // Soft recovery: bring the replica back in sync serially.
+            self.resync()?;
+            if !decision_commit {
+                self.shared.state.lock().stats.certifier_aborts += 1;
+                return Err(Error::CertificationFailed {
+                    start_version: tx.start_version(),
+                    detail: "certifier aborted the transaction".into(),
+                });
+            }
+            // The local commit's effects are now applied via resync if they
+            // were certified; report success.
+            self.shared.state.lock().stats.update_commits += 1;
+            return Ok(CommitOutcome {
+                commit_version,
+                read_only: false,
+            });
+        }
+
+        if !decision_commit {
+            self.shared.state.lock().stats.certifier_aborts += 1;
+            return Err(Error::CertificationFailed {
+                start_version: tx.start_version(),
+                detail: "certifier aborted the transaction".into(),
+            });
+        }
+        self.shared.state.lock().stats.update_commits += 1;
+        Ok(CommitOutcome {
+            commit_version: outcome.or(commit_version),
+            read_only: false,
+        })
+    }
+
+    fn commit_transaction(&self, ptx: &ProxyTransaction) -> Result<CommitOutcome> {
+        // [C2] extract the writeset.
+        let writeset = ptx.tx.writeset();
+        if writeset.is_empty() {
+            // Read-only transactions commit immediately.
+            ptx.tx.commit()?;
+            self.shared.state.lock().stats.read_only_commits += 1;
+            return Ok(CommitOutcome {
+                commit_version: None,
+                read_only: true,
+            });
+        }
+
+        // Local certification (Section 6.2): check against the writesets this
+        // proxy has already seen and, if clean, advance the effective start
+        // version to reduce work at the certifier.
+        let mut effective_start = ptx.label_version.max(ptx.tx.start_version());
+        let replica_version = {
+            let mut state = self.shared.state.lock();
+            if self.shared.config.local_certification {
+                if let Some(conflict) = state.seen.conflict_after(&writeset, effective_start) {
+                    state.stats.local_certification_aborts += 1;
+                    drop(state);
+                    ptx.tx.abort();
+                    return Err(Error::CertificationFailed {
+                        start_version: effective_start,
+                        detail: format!("local certification found a conflict at {conflict}"),
+                    });
+                }
+                effective_start = effective_start.max(state.seen.latest_version());
+            }
+            state.scheduled_through
+        };
+
+        // Certification request to the certifier.
+        let request = CertificationRequest {
+            replica: self.shared.config.replica,
+            start_version: effective_start,
+            writeset: writeset.clone(),
+            replica_version,
+        };
+        let response = self.shared.certifier.certify(&request)?;
+        self.shared.state.lock().last_contact = Instant::now();
+        let decision_commit = matches!(response.decision, CertificationDecision::Commit);
+
+        // [C4] / [C5]: apply remote writesets and finalise the local commit.
+        if self.shared.config.system.ordered_commit_api() {
+            self.commit_concurrent(
+                &ptx.tx,
+                decision_commit,
+                response.commit_version,
+                &response.remote_writesets,
+                &writeset,
+            )
+        } else {
+            self.commit_serial(
+                &ptx.tx,
+                decision_commit,
+                response.commit_version,
+                &response.remote_writesets,
+                &writeset,
+            )
+        }
+    }
+
+    fn record_engine_abort(&self) {
+        self.shared.state.lock().stats.engine_aborts += 1;
+    }
+}
+
+/// A client transaction running through the proxy (the JDBC-like interface of
+/// Section 6.2).
+pub struct ProxyTransaction {
+    proxy: Proxy,
+    tx: TxHandle,
+    /// The replica version the proxy labelled this transaction with at BEGIN.
+    label_version: Version,
+}
+
+impl std::fmt::Debug for ProxyTransaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProxyTransaction")
+            .field("tx", &self.tx.id())
+            .field("label_version", &self.label_version)
+            .finish()
+    }
+}
+
+impl ProxyTransaction {
+    /// The snapshot version the proxy labelled this transaction with.
+    #[must_use]
+    pub fn start_version(&self) -> Version {
+        self.label_version
+    }
+
+    /// Reads a row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (crashed database, finished transaction).
+    pub fn read(&self, table: TableId, key: impl Into<RowKey>) -> Result<Option<Row>> {
+        self.tx.read(table, key)
+    }
+
+    /// Scans a table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn scan(&self, table: TableId) -> Result<Vec<(RowKey, Row)>> {
+        self.tx.scan(table)
+    }
+
+    /// Inserts a row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine conflicts / deadlocks; the caller should abort and
+    /// retry the transaction on such errors.
+    pub fn insert(
+        &self,
+        table: TableId,
+        key: impl Into<RowKey>,
+        row: Vec<(String, Value)>,
+    ) -> Result<()> {
+        self.tx.insert(table, key, row).map_err(|e| {
+            self.proxy.record_engine_abort();
+            e
+        })
+    }
+
+    /// Updates columns of a row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine conflicts / deadlocks.
+    pub fn update(
+        &self,
+        table: TableId,
+        key: impl Into<RowKey>,
+        columns: Vec<(String, Value)>,
+    ) -> Result<()> {
+        self.tx.update(table, key, columns).map_err(|e| {
+            self.proxy.record_engine_abort();
+            e
+        })
+    }
+
+    /// Deletes a row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine conflicts / deadlocks.
+    pub fn delete(&self, table: TableId, key: impl Into<RowKey>) -> Result<()> {
+        self.tx.delete(table, key).map_err(|e| {
+            self.proxy.record_engine_abort();
+            e
+        })
+    }
+
+    /// The transaction's writeset captured so far.
+    #[must_use]
+    pub fn writeset(&self) -> WriteSet {
+        self.tx.writeset()
+    }
+
+    /// Commits the transaction through the replication protocol (the proxy
+    /// intercepting `COMMIT`).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::CertificationFailed`] — a write-write conflict was detected
+    ///   locally or at the certifier; the transaction was aborted and can be
+    ///   retried.
+    /// * [`Error::Unavailable`] — the certifier majority or the database is
+    ///   down.
+    /// * Engine errors from the commit itself.
+    pub fn commit(self) -> Result<CommitOutcome> {
+        self.proxy.clone().commit_transaction(&self)
+    }
+
+    /// Aborts the transaction.
+    pub fn abort(self) {
+        self.tx.abort();
+        self.proxy.record_engine_abort();
+    }
+}

@@ -1,0 +1,134 @@
+//! The proxy's local copy of recently seen writesets.
+//!
+//! Local certification (Section 6.2) is a performance optimisation: the proxy
+//! keeps the footprints of the writesets it has already seen (remote
+//! writesets it applied and local transactions it committed) and checks a
+//! committing transaction against them *before* contacting the certifier.
+//! A conflict found locally aborts the transaction without a round trip; a
+//! clean check lets the proxy advance the transaction's effective start
+//! version, which reduces the intersection work at the certifier.
+
+use std::collections::HashSet;
+
+use tashkent_common::{RowKey, TableId, Version, WriteSet};
+
+/// Footprints of recently seen writesets, indexed by commit version.
+#[derive(Debug, Default)]
+pub struct SeenWriteSets {
+    entries: Vec<(Version, HashSet<(TableId, RowKey)>)>,
+}
+
+impl SeenWriteSets {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        SeenWriteSets::default()
+    }
+
+    /// Records a writeset committed at `version`.
+    ///
+    /// Versions are expected in increasing order (the proxy schedules
+    /// writesets in global order); a version at or below the newest recorded
+    /// one is already known and is ignored.
+    pub fn record(&mut self, version: Version, writeset: &WriteSet) {
+        if writeset.is_empty() {
+            return;
+        }
+        if self.entries.last().is_some_and(|(v, _)| *v >= version) {
+            return;
+        }
+        self.entries.push((version, writeset.footprint()));
+    }
+
+    /// Checks `writeset` against every recorded writeset committed after
+    /// `start_version`.  Returns the commit version of the first conflict, or
+    /// `None` if the writeset is locally conflict-free.
+    #[must_use]
+    pub fn conflict_after(&self, writeset: &WriteSet, start_version: Version) -> Option<Version> {
+        if writeset.is_empty() {
+            return None;
+        }
+        let start = self.entries.partition_point(|(v, _)| *v <= start_version);
+        self.entries[start..]
+            .iter()
+            .find(|(_, footprint)| writeset.conflicts_with_footprint(footprint))
+            .map(|(v, _)| *v)
+    }
+
+    /// Newest recorded version, or zero if empty.
+    #[must_use]
+    pub fn latest_version(&self) -> Version {
+        self.entries.last().map_or(Version::ZERO, |(v, _)| *v)
+    }
+
+    /// Number of retained footprints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discards entries at or below `version` (no active transaction can have
+    /// started before it), returning how many were discarded.
+    pub fn prune_up_to(&mut self, version: Version) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(v, _)| *v > version);
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tashkent_common::{Value, WriteItem};
+
+    use super::*;
+
+    fn ws(keys: &[i64]) -> WriteSet {
+        WriteSet::from_items(
+            keys.iter()
+                .map(|&k| WriteItem::update(TableId(0), k, vec![("x".into(), Value::Int(k))]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn conflicts_respect_start_version() {
+        let mut seen = SeenWriteSets::new();
+        assert!(seen.is_empty());
+        seen.record(Version(1), &ws(&[1]));
+        seen.record(Version(2), &ws(&[2]));
+        seen.record(Version(3), &ws(&[3]));
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen.latest_version(), Version(3));
+        assert_eq!(seen.conflict_after(&ws(&[2]), Version::ZERO), Some(Version(2)));
+        assert_eq!(seen.conflict_after(&ws(&[2]), Version(2)), None);
+        assert_eq!(seen.conflict_after(&ws(&[9]), Version::ZERO), None);
+        assert_eq!(seen.conflict_after(&WriteSet::new(), Version::ZERO), None);
+    }
+
+    #[test]
+    fn empty_writesets_are_not_recorded() {
+        let mut seen = SeenWriteSets::new();
+        seen.record(Version(1), &WriteSet::new());
+        assert!(seen.is_empty());
+    }
+
+    #[test]
+    fn pruning_discards_old_entries() {
+        let mut seen = SeenWriteSets::new();
+        for v in 1..=10 {
+            seen.record(Version(v), &ws(&[v as i64]));
+        }
+        let removed = seen.prune_up_to(Version(7));
+        assert_eq!(removed, 7);
+        assert_eq!(seen.len(), 3);
+        // Entries above the prune point still detect conflicts.
+        assert_eq!(seen.conflict_after(&ws(&[9]), Version::ZERO), Some(Version(9)));
+        assert_eq!(seen.conflict_after(&ws(&[5]), Version::ZERO), None);
+    }
+}

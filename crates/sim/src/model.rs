@@ -1,0 +1,608 @@
+//! The event-driven cluster model.
+//!
+//! One [`Simulator`] run models a whole replicated deployment — replicas with
+//! their CPUs and log IO channels, a certifier with its CPU and
+//! group-committing log disk, network delays, and closed-loop clients — for a
+//! configurable amount of virtual time, and reports throughput, response
+//! times and group-commit behaviour.
+//!
+//! The per-system differences are exactly the ones the paper describes:
+//!
+//! * **Base** — the proxy submits the grouped remote writesets and the local
+//!   commit *serially*, each requiring its own synchronous write on the
+//!   replica's log channel.
+//! * **Tashkent-MW** — the replica performs no synchronous writes at all; the
+//!   certifier's group-committed log provides durability.
+//! * **Tashkent-API** — remote writesets and the local commit are submitted
+//!   concurrently and share a group-committed fsync on the replica's log
+//!   channel, except when an artificial conflict forces an extra serial
+//!   flush.
+//! * **tashAPInoCERT** — Tashkent-API with the certifier's fsync disabled
+//!   (analysis configuration of Figures 4, 6, 8, 10).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tashkent_common::{IoChannelMode, LatencyHistogram, RunStats, SystemKind};
+
+use crate::resources::{FifoServer, GroupCommitDisk};
+use crate::workload::WorkloadProfile;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Replication design to model.
+    pub system: SystemKind,
+    /// Number of database replicas.
+    pub replicas: usize,
+    /// IO channel layout at the replicas (shared vs dedicated).
+    pub io_mode: IoChannelMode,
+    /// Benchmark cost profile.
+    pub workload: WorkloadProfile,
+    /// fsync duration in seconds (the paper measures ~8 ms).
+    pub fsync: f64,
+    /// One-way network latency between proxy and certifier, in seconds.
+    pub network_one_way: f64,
+    /// Fraction of certification requests aborted at random by the certifier
+    /// (Section 9.5).
+    pub forced_abort_rate: f64,
+    /// Virtual time to simulate, in seconds (after warm-up).
+    pub duration: f64,
+    /// Virtual warm-up time excluded from the measurements.
+    pub warmup: f64,
+    /// Random seed (workload mix, conflicts, forced aborts).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's testbed configuration for a system / replica count /
+    /// workload / IO mode combination.
+    #[must_use]
+    pub fn paper(
+        system: SystemKind,
+        replicas: usize,
+        workload: WorkloadProfile,
+        io_mode: IoChannelMode,
+    ) -> Self {
+        SimConfig {
+            system,
+            replicas,
+            io_mode,
+            workload,
+            fsync: 0.008,
+            network_one_way: 0.000_15,
+            forced_abort_rate: 0.0,
+            duration: 30.0,
+            warmup: 3.0,
+            seed: 0x7A5B_0002,
+        }
+    }
+
+    /// A standalone (non-replicated) database running the same workload: no
+    /// certification, no remote writesets, group-committed local WAL.  Used
+    /// for the Section 9.2 overhead comparison.
+    #[must_use]
+    pub fn standalone(workload: WorkloadProfile, io_mode: IoChannelMode) -> Self {
+        SimConfig {
+            // A 1-replica Tashkent-API system without certifier IO and with
+            // zero network latency behaves exactly like a standalone engine:
+            // group-committed local WAL, no middleware in the path.
+            system: SystemKind::TashkentApiNoCertDurability,
+            replicas: 1,
+            io_mode,
+            workload,
+            fsync: 0.008,
+            network_one_way: 0.0,
+            forced_abort_rate: 0.0,
+            duration: 30.0,
+            warmup: 3.0,
+            seed: 0x7A5B_0003,
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Aggregate counters and latency distributions.
+    pub stats: RunStats,
+    /// Committed transactions per second (goodput).
+    pub throughput: f64,
+    /// Mean response time over all committed transactions, in milliseconds.
+    pub response_time_ms: f64,
+    /// Mean response time of read-only transactions, in milliseconds.
+    pub read_only_response_time_ms: f64,
+    /// Mean response time of update transactions, in milliseconds.
+    pub update_response_time_ms: f64,
+    /// Average writesets per fsync at the certifier log.
+    pub certifier_group_size: f64,
+    /// Certifier log-disk utilisation (fraction of time busy).
+    pub certifier_disk_utilisation: f64,
+    /// Certifier CPU utilisation.
+    pub certifier_cpu_utilisation: f64,
+    /// Average commit records per fsync at replica 0's log channel.
+    pub replica_group_size: f64,
+    /// Observed abort rate.
+    pub abort_rate: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Stage {
+    /// Local execution on the replica CPU.
+    Execute,
+    /// Travelling to / queued at the certifier CPU.
+    Certify,
+    /// Waiting for the certifier's group-committed log flush.
+    CertifierFlush,
+    /// Back at the replica: applying remote writesets on the CPU.
+    Apply,
+    /// First replica log flush (grouped remote writesets for Base, the shared
+    /// group flush for Tashkent-API).
+    ReplicaFlush1,
+    /// Second replica log flush (the local commit for Base, or the extra
+    /// serialised flush forced by an artificial conflict for Tashkent-API).
+    ReplicaFlush2,
+    /// Finished.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Txn {
+    client: usize,
+    replica: usize,
+    is_update: bool,
+    submit_time: f64,
+    aborted: bool,
+    remote_count: u64,
+    artificial_conflict: bool,
+    stage: Stage,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    txn: usize,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// Runs the simulation and produces a report.
+    #[must_use]
+    pub fn run(&self) -> SimReport {
+        let cfg = &self.config;
+        let replicas = cfg.replicas.max(1);
+        let clients_per_replica = cfg.workload.clients_per_replica.max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Resources.
+        let mut replica_cpu: Vec<FifoServer> = vec![FifoServer::new(); replicas];
+        let mut replica_disk: Vec<GroupCommitDisk> =
+            vec![GroupCommitDisk::new(cfg.fsync); replicas];
+        let mut certifier_cpu = FifoServer::new();
+        let mut certifier_disk = GroupCommitDisk::new(cfg.fsync);
+
+        // Global protocol state.
+        let mut system_version: u64 = 0;
+        let mut replica_version: Vec<u64> = vec![0; replicas];
+
+        // Measurement state.
+        let horizon = cfg.warmup + cfg.duration;
+        let mut stats = RunStats::new();
+        stats.elapsed = Duration::from_secs_f64(cfg.duration);
+        let mut latency = LatencyHistogram::new();
+        let mut ro_latency = LatencyHistogram::new();
+        let mut upd_latency = LatencyHistogram::new();
+
+        // Transactions in flight (indexed arena) and the event queue.
+        let mut txns: Vec<Txn> = Vec::new();
+        let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+
+        let mut schedule = |events: &mut BinaryHeap<Reverse<Event>>, time: f64, txn: usize| {
+            seq += 1;
+            events.push(Reverse(Event { time, seq, txn }));
+        };
+
+        // One initial submission per client, staggered slightly so the
+        // start-up transient is not perfectly synchronised.
+        for replica in 0..replicas {
+            for client in 0..clients_per_replica {
+                let txn_index = txns.len();
+                let jitter = rng.gen::<f64>() * 0.002;
+                txns.push(Txn {
+                    client,
+                    replica,
+                    is_update: rng.gen::<f64>() < cfg.workload.update_fraction,
+                    submit_time: jitter,
+                    aborted: false,
+                    remote_count: 0,
+                    artificial_conflict: false,
+                    stage: Stage::Execute,
+                });
+                schedule(&mut events, jitter, txn_index);
+            }
+        }
+
+        while let Some(Reverse(event)) = events.pop() {
+            let now = event.time;
+            if now > horizon {
+                break;
+            }
+            let txn_index = event.txn;
+            let (stage, replica) = {
+                let txn = &txns[txn_index];
+                (txn.stage, txn.replica)
+            };
+            match stage {
+                Stage::Execute => {
+                    // Local execution on the replica CPU.  Shared IO channels
+                    // also absorb the transaction's non-logging IO here.
+                    if cfg.io_mode == IoChannelMode::Shared {
+                        replica_disk[replica].occupy(now, cfg.workload.shared_io_per_txn);
+                    }
+                    let done = replica_cpu[replica].request(now, cfg.workload.cpu_execute);
+                    let txn = &mut txns[txn_index];
+                    if txn.is_update {
+                        txn.stage = Stage::Certify;
+                        schedule(&mut events, done + cfg.network_one_way, txn_index);
+                    } else {
+                        txn.stage = Stage::Done;
+                        schedule(&mut events, done, txn_index);
+                    }
+                }
+                Stage::Certify => {
+                    // Certifier CPU: intersection test.
+                    let done = certifier_cpu.request(now, cfg.workload.cpu_certify);
+                    // Certification outcome and version bookkeeping.
+                    let aborted = rng.gen::<f64>() < cfg.workload.conflict_rate
+                        || rng.gen::<f64>() < cfg.forced_abort_rate;
+                    let remote_count = system_version.saturating_sub(replica_version[replica]);
+                    if !aborted {
+                        system_version += 1;
+                    }
+                    replica_version[replica] = system_version;
+                    let artificial = remote_count >= 2
+                        && rng.gen::<f64>() < cfg.workload.artificial_conflict_rate;
+                    {
+                        let txn = &mut txns[txn_index];
+                        txn.aborted = aborted;
+                        txn.remote_count = remote_count;
+                        txn.artificial_conflict = artificial;
+                    }
+                    // Certifier durability: committed writesets are logged
+                    // with a group-committed fsync before the reply.
+                    if cfg.system.certifier_durable() && !aborted {
+                        let flush_done = certifier_disk.flush_grouped(done, 1);
+                        txns[txn_index].stage = Stage::CertifierFlush;
+                        schedule(&mut events, flush_done, txn_index);
+                    } else {
+                        txns[txn_index].stage = Stage::CertifierFlush;
+                        schedule(&mut events, done, txn_index);
+                    }
+                }
+                Stage::CertifierFlush => {
+                    // Response travels back to the replica.
+                    txns[txn_index].stage = Stage::Apply;
+                    schedule(&mut events, now + cfg.network_one_way, txn_index);
+                }
+                Stage::Apply => {
+                    // Apply remote writesets on the replica CPU.  When the
+                    // database itself is durable (Base, Tashkent-API) every
+                    // commit record written locally also pays the engine's
+                    // commit-path overhead (WAL insertion, page images).
+                    let remote_count = txns[txn_index].remote_count;
+                    let records_overhead = if cfg.system.database_durable() {
+                        let records =
+                            remote_count + u64::from(!txns[txn_index].aborted);
+                        records as f64 * cfg.workload.wal_record_io
+                    } else {
+                        0.0
+                    };
+                    let apply_cpu = cfg.workload.cpu_apply_writeset * remote_count as f64
+                        + records_overhead;
+                    let done = replica_cpu[replica].request(now, apply_cpu);
+                    let txn_aborted = txns[txn_index].aborted;
+                    let artificial = txns[txn_index].artificial_conflict;
+                    match cfg.system {
+                        SystemKind::TashkentMw => {
+                            // Commits are in-memory: no synchronous writes.
+                            txns[txn_index].stage = Stage::Done;
+                            schedule(&mut events, done, txn_index);
+                        }
+                        SystemKind::Base => {
+                            // Serial commits: one fsync for the grouped
+                            // remote writesets (if any), then one for the
+                            // local commit (if certified).
+                            if remote_count > 0 {
+                                let flush = replica_disk[replica].flush_serial(done);
+                                txns[txn_index].stage = if txn_aborted {
+                                    Stage::Done
+                                } else {
+                                    Stage::ReplicaFlush1
+                                };
+                                schedule(&mut events, flush, txn_index);
+                            } else if !txn_aborted {
+                                let flush = replica_disk[replica].flush_serial(done);
+                                txns[txn_index].stage = Stage::Done;
+                                schedule(&mut events, flush, txn_index);
+                            } else {
+                                txns[txn_index].stage = Stage::Done;
+                                schedule(&mut events, done, txn_index);
+                            }
+                        }
+                        SystemKind::TashkentApi | SystemKind::TashkentApiNoCertDurability => {
+                            // Remote writesets and the local commit share one
+                            // group-committed flush; an artificial conflict
+                            // forces an extra serialised flush.
+                            let records = remote_count + u64::from(!txn_aborted);
+                            if records == 0 {
+                                txns[txn_index].stage = Stage::Done;
+                                schedule(&mut events, done, txn_index);
+                            } else {
+                                let flush = replica_disk[replica].flush_grouped(done, records);
+                                txns[txn_index].stage = if artificial {
+                                    Stage::ReplicaFlush2
+                                } else {
+                                    Stage::Done
+                                };
+                                schedule(&mut events, flush, txn_index);
+                            }
+                        }
+                    }
+                }
+                Stage::ReplicaFlush1 => {
+                    // Base only: the local commit's own fsync, strictly after
+                    // the remote-group fsync completed.
+                    let flush = replica_disk[replica].flush_serial(now);
+                    txns[txn_index].stage = Stage::Done;
+                    schedule(&mut events, flush, txn_index);
+                }
+                Stage::ReplicaFlush2 => {
+                    // Tashkent-API with an artificial conflict: the
+                    // conflicting remote writeset (and anything after it)
+                    // needs a second, serialised flush.
+                    let flush = replica_disk[replica].flush_grouped(now, 1);
+                    txns[txn_index].stage = Stage::Done;
+                    schedule(&mut events, flush, txn_index);
+                }
+                Stage::Done => {
+                    // Record the finished transaction and start the client's
+                    // next one (closed loop, back-to-back).
+                    let (client, submit_time, is_update, aborted) = {
+                        let txn = &txns[txn_index];
+                        (txn.client, txn.submit_time, txn.is_update, txn.aborted)
+                    };
+                    if submit_time >= cfg.warmup && now <= horizon {
+                        let response = Duration::from_secs_f64(now - submit_time);
+                        if aborted {
+                            stats.aborted += 1;
+                        } else {
+                            stats.committed += 1;
+                            latency.record(response);
+                            if is_update {
+                                upd_latency.record(response);
+                            } else {
+                                stats.read_only += 1;
+                                ro_latency.record(response);
+                            }
+                        }
+                    }
+                    let next_index = txns.len();
+                    txns.push(Txn {
+                        client,
+                        replica,
+                        is_update: rng.gen::<f64>() < cfg.workload.update_fraction,
+                        submit_time: now,
+                        aborted: false,
+                        remote_count: 0,
+                        artificial_conflict: false,
+                        stage: Stage::Execute,
+                    });
+                    schedule(&mut events, now, next_index);
+                }
+            }
+        }
+
+        certifier_disk.finish();
+        for disk in &mut replica_disk {
+            disk.finish();
+        }
+
+        let throughput = stats.committed as f64 / cfg.duration;
+        let abort_rate = stats.abort_rate();
+        stats.latency = latency;
+        stats.read_only_latency = ro_latency;
+        stats.update_latency = upd_latency;
+        stats.certifier_group_commit = certifier_disk.stats().clone();
+        stats.replica_group_commit = replica_disk[0].stats().clone();
+
+        SimReport {
+            throughput,
+            response_time_ms: stats.latency.mean().as_secs_f64() * 1000.0,
+            read_only_response_time_ms: stats.read_only_latency.mean().as_secs_f64() * 1000.0,
+            update_response_time_ms: stats.update_latency.mean().as_secs_f64() * 1000.0,
+            certifier_group_size: certifier_disk.stats().mean_group_size(),
+            certifier_disk_utilisation: certifier_disk.utilisation(horizon),
+            certifier_cpu_utilisation: certifier_cpu.utilisation(horizon),
+            replica_group_size: replica_disk[0].stats().mean_group_size(),
+            abort_rate,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(system: SystemKind, replicas: usize, io: IoChannelMode) -> SimReport {
+        Simulator::new(SimConfig {
+            duration: 10.0,
+            warmup: 1.0,
+            ..SimConfig::paper(system, replicas, WorkloadProfile::all_updates(), io)
+        })
+        .run()
+    }
+
+    #[test]
+    fn base_throughput_is_limited_by_serial_fsyncs() {
+        let report = run(SystemKind::Base, 1, IoChannelMode::Dedicated);
+        // One replica, no remote writesets: one 8 ms fsync per commit caps
+        // throughput at 125/s.
+        assert!(
+            report.throughput > 90.0 && report.throughput < 130.0,
+            "throughput {}",
+            report.throughput
+        );
+        let report = run(SystemKind::Base, 2, IoChannelMode::Dedicated);
+        // With remote writesets, two fsyncs per local commit: ~62/s/replica.
+        let per_replica = report.throughput / 2.0;
+        assert!(
+            per_replica > 40.0 && per_replica < 80.0,
+            "per-replica {per_replica}"
+        );
+    }
+
+    #[test]
+    fn tashkent_mw_scales_far_beyond_base() {
+        let base = run(SystemKind::Base, 15, IoChannelMode::Dedicated);
+        let mw = run(SystemKind::TashkentMw, 15, IoChannelMode::Dedicated);
+        let api = run(SystemKind::TashkentApi, 15, IoChannelMode::Dedicated);
+        assert!(
+            mw.throughput > 3.0 * base.throughput,
+            "MW {} vs Base {}",
+            mw.throughput,
+            base.throughput
+        );
+        assert!(
+            api.throughput > 2.0 * base.throughput,
+            "API {} vs Base {}",
+            api.throughput,
+            base.throughput
+        );
+        // MW beats API: the certifier fsync sits in API's critical path and
+        // the replica WAL (page images) consumes log-channel bandwidth.
+        assert!(mw.throughput >= api.throughput);
+        // Response times order the same way.
+        assert!(mw.response_time_ms < base.response_time_ms);
+    }
+
+    #[test]
+    fn certifier_groups_many_writesets_per_fsync_at_scale() {
+        let report = run(SystemKind::TashkentMw, 15, IoChannelMode::Dedicated);
+        assert!(
+            report.certifier_group_size > 10.0,
+            "group size {}",
+            report.certifier_group_size
+        );
+        assert!(report.certifier_disk_utilisation < 1.0);
+        assert!(report.certifier_cpu_utilisation < 0.5);
+    }
+
+    #[test]
+    fn forced_aborts_reduce_goodput_but_preserve_ordering() {
+        let clean = run(SystemKind::TashkentMw, 8, IoChannelMode::Dedicated);
+        let noisy = Simulator::new(SimConfig {
+            forced_abort_rate: 0.4,
+            duration: 10.0,
+            warmup: 1.0,
+            ..SimConfig::paper(
+                SystemKind::TashkentMw,
+                8,
+                WorkloadProfile::all_updates(),
+                IoChannelMode::Dedicated,
+            )
+        })
+        .run();
+        assert!(noisy.abort_rate > 0.3 && noisy.abort_rate < 0.5);
+        assert!(noisy.throughput < clean.throughput);
+        // Even at 40 % aborts the goodput stays well above half of clean.
+        assert!(noisy.throughput > 0.4 * clean.throughput);
+    }
+
+    #[test]
+    fn read_only_transactions_dominate_tpcw_and_never_wait_for_certification() {
+        let report = Simulator::new(SimConfig {
+            duration: 20.0,
+            warmup: 2.0,
+            ..SimConfig::paper(
+                SystemKind::TashkentMw,
+                4,
+                WorkloadProfile::tpcw_shopping(),
+                IoChannelMode::Shared,
+            )
+        })
+        .run();
+        assert!(report.stats.read_only > report.stats.committed / 2);
+        assert!(report.read_only_response_time_ms <= report.update_response_time_ms);
+    }
+
+    #[test]
+    fn standalone_configuration_matches_one_replica_mw_closely() {
+        let standalone = Simulator::new(SimConfig {
+            duration: 10.0,
+            warmup: 1.0,
+            ..SimConfig::standalone(WorkloadProfile::all_updates(), IoChannelMode::Dedicated)
+        })
+        .run();
+        let one_mw = Simulator::new(SimConfig {
+            duration: 10.0,
+            warmup: 1.0,
+            ..SimConfig::paper(
+                SystemKind::TashkentMw,
+                1,
+                WorkloadProfile::all_updates(),
+                IoChannelMode::Dedicated,
+            )
+        })
+        .run();
+        // The replication middleware should not cost much (Section 9.2
+        // reports 517 vs 490 req/s).  In the virtual-time model the 1-replica
+        // Tashkent-MW system can come out slightly ahead because its group
+        // commits happen at the certifier disk, which phase-locks a little
+        // better than the standalone replica disk; we only require the two to
+        // stay in the same ballpark.
+        let ratio = one_mw.throughput / standalone.throughput;
+        assert!(ratio > 0.8 && ratio < 1.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_fixed_seed() {
+        let a = run(SystemKind::TashkentApi, 5, IoChannelMode::Shared);
+        let b = run(SystemKind::TashkentApi, 5, IoChannelMode::Shared);
+        assert_eq!(a.stats.committed, b.stats.committed);
+        assert_eq!(a.stats.aborted, b.stats.aborted);
+        assert!((a.throughput - b.throughput).abs() < f64::EPSILON);
+    }
+}

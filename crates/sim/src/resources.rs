@@ -1,0 +1,251 @@
+//! Virtual-time resources: FIFO servers and group-commit disks.
+//!
+//! All times are `f64` seconds of virtual time.  Resources are *reservation
+//! based*: a request made at time `t` immediately returns the completion
+//! time, under the assumption that requests arrive in non-decreasing time
+//! order — which the event-driven simulator guarantees by processing events
+//! in timestamp order.
+
+use tashkent_common::GroupCommitStats;
+
+/// A single FIFO server (a CPU, or a network link treated as a delay line).
+#[derive(Debug, Clone, Default)]
+pub struct FifoServer {
+    busy_until: f64,
+    busy_time: f64,
+    jobs: u64,
+}
+
+impl FifoServer {
+    /// Creates an idle server.
+    #[must_use]
+    pub fn new() -> Self {
+        FifoServer::default()
+    }
+
+    /// Reserves `service` seconds of the server starting no earlier than
+    /// `now`; returns the completion time.
+    pub fn request(&mut self, now: f64, service: f64) -> f64 {
+        let start = now.max(self.busy_until);
+        let end = start + service;
+        self.busy_until = end;
+        self.busy_time += service;
+        self.jobs += 1;
+        end
+    }
+
+    /// Fraction of `[0, horizon]` during which the server was busy.
+    #[must_use]
+    pub fn utilisation(&self, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            0.0
+        } else {
+            (self.busy_time / horizon).min(1.0)
+        }
+    }
+
+    /// Number of jobs served.
+    #[must_use]
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// The time until which the server is currently reserved.
+    #[must_use]
+    pub fn busy_until(&self) -> f64 {
+        self.busy_until
+    }
+}
+
+/// A disk used as a log device.
+///
+/// Two operating modes matter for the paper:
+///
+/// * [`GroupCommitDisk::flush_serial`] — one fsync per request, requests are
+///   served FIFO.  This is how Base's replica WAL behaves, because the proxy
+///   must submit commits one at a time.
+/// * [`GroupCommitDisk::flush_grouped`] — requests arriving while an fsync is
+///   in progress join the *next* fsync together; this is group commit, used
+///   by the certifier log, by standalone databases and by Tashkent-API's
+///   replica WAL.
+///
+/// [`GroupCommitDisk::occupy`] models non-logging IO (page reads, dirty-page
+/// writebacks) competing for a *shared* channel.
+#[derive(Debug, Clone)]
+pub struct GroupCommitDisk {
+    fsync: f64,
+    busy_until: f64,
+    busy_time: f64,
+    /// The currently open (not yet started) batch: (start, end, records).
+    open_batch: Option<(f64, f64, u64)>,
+    stats: GroupCommitStats,
+}
+
+impl GroupCommitDisk {
+    /// Creates a disk whose fsync takes `fsync` seconds.
+    #[must_use]
+    pub fn new(fsync: f64) -> Self {
+        GroupCommitDisk {
+            fsync,
+            busy_until: 0.0,
+            busy_time: 0.0,
+            open_batch: None,
+            stats: GroupCommitStats::default(),
+        }
+    }
+
+    /// The configured fsync duration.
+    #[must_use]
+    pub fn fsync_duration(&self) -> f64 {
+        self.fsync
+    }
+
+    /// Occupies the channel for `duration` seconds of non-logging IO.
+    pub fn occupy(&mut self, now: f64, duration: f64) {
+        self.close_batches_before(now);
+        let start = now.max(self.busy_until);
+        self.busy_until = start + duration;
+        self.busy_time += duration;
+    }
+
+    /// One dedicated fsync for a single commit record (serial commits).
+    /// Returns the completion time.
+    pub fn flush_serial(&mut self, now: f64) -> f64 {
+        self.close_batches_before(now);
+        let start = now.max(self.busy_until);
+        let end = start + self.fsync;
+        self.busy_until = end;
+        self.busy_time += self.fsync;
+        self.stats.record_flush(1);
+        end
+    }
+
+    /// A group-committed flush of `records` commit records.  Requests that
+    /// arrive while the channel is busy join one shared fsync that starts
+    /// when the channel frees up.  Returns the completion time.
+    pub fn flush_grouped(&mut self, now: f64, records: u64) -> f64 {
+        // If an open batch exists and has not started yet, join it.
+        if let Some((start, end, count)) = self.open_batch {
+            if now <= start {
+                self.open_batch = Some((start, end, count + records));
+                return end;
+            }
+            // The open batch has already started (virtually): close it.
+            self.stats.record_flush(count);
+            self.open_batch = None;
+        }
+        let start = now.max(self.busy_until);
+        let end = start + self.fsync;
+        self.busy_until = end;
+        self.busy_time += self.fsync;
+        self.open_batch = Some((start, end, records));
+        end
+    }
+
+    fn close_batches_before(&mut self, now: f64) {
+        if let Some((start, _, count)) = self.open_batch {
+            if now > start {
+                self.stats.record_flush(count);
+                self.open_batch = None;
+            }
+        }
+    }
+
+    /// Flushes the statistics of any still-open batch (call at the end of a
+    /// simulation).
+    pub fn finish(&mut self) {
+        if let Some((_, _, count)) = self.open_batch.take() {
+            self.stats.record_flush(count);
+        }
+    }
+
+    /// Group-commit statistics (fsync count, records per fsync).
+    #[must_use]
+    pub fn stats(&self) -> &GroupCommitStats {
+        &self.stats
+    }
+
+    /// Fraction of `[0, horizon]` during which the channel was busy.
+    #[must_use]
+    pub fn utilisation(&self, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            0.0
+        } else {
+            (self.busy_time / horizon).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_server_serialises_requests() {
+        let mut cpu = FifoServer::new();
+        assert!((cpu.request(0.0, 1.0) - 1.0).abs() < 1e-12);
+        // Second request arrives while busy: queues behind the first.
+        assert!((cpu.request(0.5, 1.0) - 2.0).abs() < 1e-12);
+        // Third arrives after the server went idle.
+        assert!((cpu.request(5.0, 0.5) - 5.5).abs() < 1e-12);
+        assert_eq!(cpu.jobs(), 3);
+        assert!((cpu.utilisation(10.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_flushes_never_share_an_fsync() {
+        let mut disk = GroupCommitDisk::new(0.008);
+        let a = disk.flush_serial(0.0);
+        let b = disk.flush_serial(0.0);
+        let c = disk.flush_serial(0.0);
+        assert!((a - 0.008).abs() < 1e-12);
+        assert!((b - 0.016).abs() < 1e-12);
+        assert!((c - 0.024).abs() < 1e-12);
+        disk.finish();
+        assert_eq!(disk.stats().fsyncs, 3);
+        assert!((disk.stats().mean_group_size() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_flushes_share_an_fsync_under_load() {
+        let mut disk = GroupCommitDisk::new(0.008);
+        // First request starts a flush at t=0.
+        let a = disk.flush_grouped(0.0, 1);
+        assert!((a - 0.008).abs() < 1e-12);
+        // Requests arriving during that flush are NOT part of it (it already
+        // started) — they form the next batch together.
+        let b = disk.flush_grouped(0.001, 1);
+        let c = disk.flush_grouped(0.002, 1);
+        let d = disk.flush_grouped(0.007, 1);
+        assert!((b - 0.016).abs() < 1e-12);
+        assert!((c - 0.016).abs() < 1e-12);
+        assert!((d - 0.016).abs() < 1e-12);
+        disk.finish();
+        // Two fsyncs for four records.
+        assert_eq!(disk.stats().fsyncs, 2);
+        assert_eq!(disk.stats().records, 4);
+        assert_eq!(disk.stats().max_group, 3);
+    }
+
+    #[test]
+    fn occupation_delays_flushes() {
+        let mut disk = GroupCommitDisk::new(0.008);
+        disk.occupy(0.0, 0.005);
+        let end = disk.flush_serial(0.001);
+        assert!((end - 0.013).abs() < 1e-12);
+        assert!(disk.utilisation(0.013) > 0.99);
+    }
+
+    #[test]
+    fn idle_disk_flushes_immediately() {
+        let mut disk = GroupCommitDisk::new(0.008);
+        let a = disk.flush_grouped(1.0, 2);
+        assert!((a - 1.008).abs() < 1e-12);
+        // Long after the flush finished, a new request starts its own fsync.
+        let b = disk.flush_grouped(2.0, 1);
+        assert!((b - 2.008).abs() < 1e-12);
+        disk.finish();
+        assert_eq!(disk.stats().fsyncs, 2);
+        assert_eq!(disk.stats().records, 3);
+    }
+}

@@ -1,0 +1,315 @@
+//! The (simulated) log device.
+//!
+//! The paper's measurements hinge on the cost of synchronous writes: an
+//! `fsync` to the disk medium takes about 8 ms on their hardware, so whoever
+//! can put more commit records into one fsync wins.  The engine therefore
+//! talks to its log through the [`LogDevice`] trait, and the default
+//! implementation, [`SimulatedDisk`], models exactly the properties that
+//! matter:
+//!
+//! * a configurable per-fsync latency (optionally with jitter, matching the
+//!   6–12 ms spread the paper reports),
+//! * a single channel: fsyncs on the same device are serialised,
+//! * optional extra *contention* delay representing a shared IO channel on
+//!   which database page reads and dirty-page writebacks compete with the
+//!   WAL (the "shared IO" configurations),
+//! * crash semantics: bytes appended after the last fsync are lost when the
+//!   device "crashes", which is what makes the recovery tests meaningful.
+//!
+//! All latencies can be set to zero for fast functional tests; the fsync
+//! count and group-size statistics are tracked either way.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use tashkent_common::GroupCommitStats;
+
+/// Statistics kept by a log device.
+#[derive(Debug, Clone, Default)]
+pub struct DiskStats {
+    /// Number of append operations.
+    pub appends: u64,
+    /// Total bytes appended.
+    pub bytes_appended: u64,
+    /// Number of fsync operations.
+    pub fsyncs: u64,
+    /// Group-commit statistics: how many records each fsync made durable.
+    pub group_commit: GroupCommitStats,
+}
+
+/// Abstraction over the append-only log storage used by the WAL and by the
+/// certifier log.
+///
+/// Implementations must be safe to share between threads; the engine calls
+/// `append` and `fsync` concurrently from many committing transactions.
+pub trait LogDevice: Send + Sync {
+    /// Appends bytes to the end of the log and returns the offset at which
+    /// they were written.  The bytes are *not* durable until the next
+    /// [`LogDevice::fsync`] call returns.
+    fn append(&self, bytes: &[u8]) -> u64;
+
+    /// Forces all previously appended bytes to stable storage.
+    ///
+    /// `records` tells the device how many commit records this flush makes
+    /// durable so that group-commit statistics can be tracked; it has no
+    /// effect on durability itself.
+    fn fsync(&self, records: u64);
+
+    /// Total bytes appended so far (durable or not).
+    fn len(&self) -> u64;
+
+    /// `true` if nothing has been appended.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes that are guaranteed to survive a crash.
+    fn durable_len(&self) -> u64;
+
+    /// Returns a copy of the durable prefix of the log.
+    fn durable_contents(&self) -> Vec<u8>;
+
+    /// Simulates a crash: volatile (un-fsynced) bytes are discarded.
+    fn crash(&self);
+
+    /// Statistics snapshot.
+    fn stats(&self) -> DiskStats;
+}
+
+/// Configuration of a [`SimulatedDisk`].
+#[derive(Debug, Clone)]
+pub struct DiskConfig {
+    /// Latency of one fsync (time to flush to the disk medium).
+    pub fsync_latency: Duration,
+    /// Additional uniformly distributed latency added to each fsync,
+    /// modelling the dependence on where the data lands on the platter.
+    pub fsync_jitter: Duration,
+    /// Extra latency added to each fsync when the channel is shared with
+    /// non-logging IO (page reads / dirty writebacks).
+    pub contention_latency: Duration,
+    /// If `true`, latencies are actually slept; if `false` they are only
+    /// accounted in the statistics.  Functional tests run with `false`.
+    pub sleep: bool,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            fsync_latency: Duration::ZERO,
+            fsync_jitter: Duration::ZERO,
+            contention_latency: Duration::ZERO,
+            sleep: false,
+        }
+    }
+}
+
+impl DiskConfig {
+    /// A device with a real (slept) fsync latency, for end-to-end runs that
+    /// want wall-clock behaviour resembling the paper's testbed.
+    #[must_use]
+    pub fn with_latency(fsync_latency: Duration) -> Self {
+        DiskConfig {
+            fsync_latency,
+            sleep: true,
+            ..DiskConfig::default()
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct DiskState {
+    buffer: Vec<u8>,
+    durable_len: u64,
+    stats: DiskStats,
+    /// Deterministic pseudo-random state for jitter.
+    jitter_seed: u64,
+}
+
+/// An in-memory append-only device with configurable fsync behaviour and
+/// crash semantics.
+#[derive(Debug, Clone)]
+pub struct SimulatedDisk {
+    config: DiskConfig,
+    state: Arc<Mutex<DiskState>>,
+    /// Serialises fsyncs: one IO channel.
+    io_channel: Arc<Mutex<()>>,
+}
+
+impl Default for SimulatedDisk {
+    fn default() -> Self {
+        SimulatedDisk::new(DiskConfig::default())
+    }
+}
+
+impl SimulatedDisk {
+    /// Creates a device with the given configuration.
+    #[must_use]
+    pub fn new(config: DiskConfig) -> Self {
+        SimulatedDisk {
+            config,
+            state: Arc::new(Mutex::new(DiskState::default())),
+            io_channel: Arc::new(Mutex::new(())),
+        }
+    }
+
+    /// Creates a device with no latency at all — the default for unit tests.
+    #[must_use]
+    pub fn instant() -> Self {
+        SimulatedDisk::default()
+    }
+
+    fn jitter(&self, state: &mut DiskState) -> Duration {
+        if self.config.fsync_jitter.is_zero() {
+            return Duration::ZERO;
+        }
+        // xorshift64* — cheap, deterministic, good enough for jitter.
+        let mut x = state.jitter_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state.jitter_seed = x;
+        let frac = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        self.config.fsync_jitter.mul_f64(frac)
+    }
+}
+
+impl LogDevice for SimulatedDisk {
+    fn append(&self, bytes: &[u8]) -> u64 {
+        let mut state = self.state.lock();
+        let offset = state.buffer.len() as u64;
+        state.buffer.extend_from_slice(bytes);
+        state.stats.appends += 1;
+        state.stats.bytes_appended += bytes.len() as u64;
+        offset
+    }
+
+    fn fsync(&self, records: u64) {
+        // Hold the IO channel for the duration of the (possibly slept)
+        // flush: a single disk can only serve one synchronous flush at a
+        // time, which is precisely the serial-commit bottleneck of Base.
+        let _channel = self.io_channel.lock();
+        let delay = {
+            let mut state = self.state.lock();
+            let jitter = self.jitter(&mut state);
+            state.durable_len = state.buffer.len() as u64;
+            state.stats.fsyncs += 1;
+            state.stats.group_commit.record_flush(records);
+            self.config.fsync_latency + jitter + self.config.contention_latency
+        };
+        if self.config.sleep && !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.state.lock().buffer.len() as u64
+    }
+
+    fn durable_len(&self) -> u64 {
+        self.state.lock().durable_len
+    }
+
+    fn durable_contents(&self) -> Vec<u8> {
+        let state = self.state.lock();
+        state.buffer[..state.durable_len as usize].to_vec()
+    }
+
+    fn crash(&self) {
+        let mut state = self.state.lock();
+        let durable = state.durable_len as usize;
+        state.buffer.truncate(durable);
+    }
+
+    fn stats(&self) -> DiskStats {
+        self.state.lock().stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_then_fsync_makes_bytes_durable() {
+        let disk = SimulatedDisk::instant();
+        assert!(disk.is_empty());
+        let off = disk.append(b"hello");
+        assert_eq!(off, 0);
+        assert_eq!(disk.len(), 5);
+        assert_eq!(disk.durable_len(), 0);
+        disk.fsync(1);
+        assert_eq!(disk.durable_len(), 5);
+        assert_eq!(disk.durable_contents(), b"hello");
+        let off = disk.append(b", world");
+        assert_eq!(off, 5);
+        assert_eq!(disk.durable_contents(), b"hello");
+    }
+
+    #[test]
+    fn crash_discards_unsynced_bytes() {
+        let disk = SimulatedDisk::instant();
+        disk.append(b"durable");
+        disk.fsync(1);
+        disk.append(b"volatile");
+        assert_eq!(disk.len(), 15);
+        disk.crash();
+        assert_eq!(disk.len(), 7);
+        assert_eq!(disk.durable_contents(), b"durable");
+    }
+
+    #[test]
+    fn stats_track_group_commit() {
+        let disk = SimulatedDisk::instant();
+        disk.append(b"a");
+        disk.append(b"b");
+        disk.fsync(2);
+        disk.append(b"c");
+        disk.fsync(1);
+        let stats = disk.stats();
+        assert_eq!(stats.appends, 3);
+        assert_eq!(stats.bytes_appended, 3);
+        assert_eq!(stats.fsyncs, 2);
+        assert_eq!(stats.group_commit.records, 3);
+        assert!((stats.group_commit.mean_group_size() - 1.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn latency_is_slept_when_enabled() {
+        let disk = SimulatedDisk::new(DiskConfig {
+            fsync_latency: Duration::from_millis(5),
+            sleep: true,
+            ..DiskConfig::default()
+        });
+        disk.append(b"x");
+        let start = std::time::Instant::now();
+        disk.fsync(1);
+        assert!(start.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic_per_device() {
+        let disk = SimulatedDisk::new(DiskConfig {
+            fsync_latency: Duration::from_millis(1),
+            fsync_jitter: Duration::from_millis(4),
+            sleep: false,
+            ..DiskConfig::default()
+        });
+        // Jitter must never exceed the configured bound.
+        let mut state = disk.state.lock();
+        for _ in 0..100 {
+            let j = disk.jitter(&mut state);
+            assert!(j <= Duration::from_millis(4));
+        }
+    }
+
+    #[test]
+    fn clones_share_the_same_underlying_device() {
+        let disk = SimulatedDisk::instant();
+        let clone = disk.clone();
+        disk.append(b"abc");
+        assert_eq!(clone.len(), 3);
+        clone.fsync(1);
+        assert_eq!(disk.durable_len(), 3);
+    }
+}

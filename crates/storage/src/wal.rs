@@ -1,0 +1,391 @@
+//! Write-ahead log with group commit.
+//!
+//! Every committing update transaction appends a [`WalRecord::Commit`] record
+//! carrying its commit version and writeset.  Whether the commit then *waits*
+//! for the record to become durable depends on the engine's
+//! [`SyncMode`](tashkent_common::SyncMode):
+//!
+//! * `Durable` — the commit participates in **group commit**: it requests a
+//!   flush, and whichever committer becomes the flusher syncs every record
+//!   appended so far in a single `fsync`.  Committers whose records were
+//!   covered by somebody else's flush do not issue their own.  This is the
+//!   standard optimisation the paper's Section 3 describes for standalone
+//!   databases, and the mechanism Tashkent-API re-enables for replicas.
+//! * `NoSyncOnCommit` — the record is appended but the commit returns
+//!   immediately; a later flush (checkpoint or another durable commit) will
+//!   make it durable.  Physical integrity is preserved, durability is not.
+//! * `Off` — as above, and recovery makes no attempt to use the log at all
+//!   (Tashkent-MW relies on middleware dumps plus the certifier log instead).
+//!
+//! The same `WalWriter` type also backs the certifier's persistent log in
+//! `tashkent-certifier`, which is how the certifier gets its "single writer
+//! thread … batching all outstanding writesets to disk via a single fsync"
+//! behaviour for free.
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::{Condvar, Mutex};
+use tashkent_common::{Error, Result, Version, WriteSet};
+
+use crate::codec;
+use crate::disk::{DiskStats, LogDevice};
+
+/// One record of the write-ahead log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A committed update transaction: the version it created and its
+    /// writeset (enough to redo the transaction on recovery).
+    Commit {
+        /// Version created by this commit.
+        version: Version,
+        /// Redo information.
+        writeset: WriteSet,
+    },
+    /// A checkpoint marker: all effects up to and including `version` have
+    /// been written to the data store / dump, so recovery may start here.
+    Checkpoint {
+        /// Version covered by the checkpoint.
+        version: Version,
+    },
+}
+
+impl WalRecord {
+    /// The version this record refers to.
+    #[must_use]
+    pub fn version(&self) -> Version {
+        match self {
+            WalRecord::Commit { version, .. } | WalRecord::Checkpoint { version } => *version,
+        }
+    }
+
+    /// Encodes the record as a length-prefixed, checksummed frame.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = BytesMut::new();
+        match self {
+            WalRecord::Commit { version, writeset } => {
+                payload.put_u8(0);
+                codec::encode_version(&mut payload, *version);
+                codec::encode_writeset(&mut payload, writeset);
+            }
+            WalRecord::Checkpoint { version } => {
+                payload.put_u8(1);
+                codec::encode_version(&mut payload, *version);
+            }
+        }
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&codec::checksum(&payload).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Decodes one frame from the front of `buf`, advancing it.
+    ///
+    /// Returns `Ok(None)` on a clean end of log and `Err` on corruption in
+    /// the middle of the log.  A *truncated* trailing frame (torn write at
+    /// the moment of a crash) is also reported as `Ok(None)`, because that is
+    /// the expected state of the tail after a crash and recovery must simply
+    /// stop there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] if a complete frame fails its checksum
+    /// or contains an undecodable payload.
+    pub fn decode_from(buf: &mut Bytes) -> Result<Option<WalRecord>> {
+        if buf.remaining() == 0 {
+            return Ok(None);
+        }
+        if buf.remaining() < 8 {
+            // Torn frame header at the tail.
+            return Ok(None);
+        }
+        let len = buf.get_u32() as usize;
+        let expected_checksum = buf.get_u32();
+        if buf.remaining() < len {
+            // Torn payload at the tail.
+            return Ok(None);
+        }
+        let payload = buf.split_to(len);
+        if codec::checksum(&payload) != expected_checksum {
+            return Err(Error::Corruption("wal frame checksum mismatch".into()));
+        }
+        let mut payload = payload;
+        let kind = payload.get_u8();
+        match kind {
+            0 => {
+                let version = codec::decode_version(&mut payload)?;
+                let writeset = codec::decode_writeset(&mut payload)?;
+                Ok(Some(WalRecord::Commit { version, writeset }))
+            }
+            1 => {
+                let version = codec::decode_version(&mut payload)?;
+                Ok(Some(WalRecord::Checkpoint { version }))
+            }
+            k => Err(Error::Corruption(format!("unknown wal record kind {k}"))),
+        }
+    }
+
+    /// Decodes every complete record from a log image (e.g. the durable
+    /// contents of a crashed device).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] if a complete frame in the middle of the
+    /// log is malformed.
+    pub fn decode_all(log: &[u8]) -> Result<Vec<WalRecord>> {
+        let mut buf = Bytes::copy_from_slice(log);
+        let mut out = Vec::new();
+        while let Some(record) = WalRecord::decode_from(&mut buf)? {
+            out.push(record);
+        }
+        Ok(out)
+    }
+}
+
+#[derive(Debug, Default)]
+struct WalState {
+    /// Bytes appended to the device so far (the next record's LSN).
+    appended_lsn: u64,
+    /// Bytes known durable.
+    durable_lsn: u64,
+    /// Records appended since the last flush (for group-size statistics).
+    records_since_flush: u64,
+    /// `true` while some thread is inside `fsync`.
+    flush_in_progress: bool,
+}
+
+/// Group-commit log writer on top of a [`LogDevice`].
+pub struct WalWriter {
+    device: Arc<dyn LogDevice>,
+    state: Mutex<WalState>,
+    flushed: Condvar,
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("WalWriter")
+            .field("appended_lsn", &state.appended_lsn)
+            .field("durable_lsn", &state.durable_lsn)
+            .finish()
+    }
+}
+
+impl WalWriter {
+    /// Creates a writer on top of a log device.
+    #[must_use]
+    pub fn new(device: Arc<dyn LogDevice>) -> Self {
+        WalWriter {
+            device,
+            state: Mutex::new(WalState::default()),
+            flushed: Condvar::new(),
+        }
+    }
+
+    /// Appends a record without waiting for durability.  Returns the LSN just
+    /// past the record (the point that must become durable for the record to
+    /// be safe).
+    pub fn append(&self, record: &WalRecord) -> u64 {
+        let frame = record.encode();
+        let mut state = self.state.lock();
+        // Appending under the state lock keeps the LSN bookkeeping and the
+        // device contents consistent; the device append itself is an
+        // in-memory buffer extension and therefore cheap.
+        self.device.append(&frame);
+        state.appended_lsn += frame.len() as u64;
+        state.records_since_flush += 1;
+        state.appended_lsn
+    }
+
+    /// Waits until everything appended up to `lsn` is durable, participating
+    /// in group commit: if another thread's flush covers `lsn` this call
+    /// simply waits for it; otherwise this thread performs one flush for all
+    /// currently appended records.
+    pub fn sync_to(&self, lsn: u64) {
+        let mut state = self.state.lock();
+        loop {
+            if state.durable_lsn >= lsn {
+                return;
+            }
+            if state.flush_in_progress {
+                // Somebody else is flushing; their flush may or may not cover
+                // us — re-check after it completes.
+                self.flushed.wait(&mut state);
+                continue;
+            }
+            // Become the flusher for every record appended so far.
+            state.flush_in_progress = true;
+            let target = state.appended_lsn;
+            let records = state.records_since_flush;
+            state.records_since_flush = 0;
+            drop(state);
+
+            self.device.fsync(records);
+
+            state = self.state.lock();
+            state.durable_lsn = state.durable_lsn.max(target);
+            state.flush_in_progress = false;
+            self.flushed.notify_all();
+        }
+    }
+
+    /// Appends a record and waits for it to be durable (group committed).
+    pub fn append_durable(&self, record: &WalRecord) -> u64 {
+        let lsn = self.append(record);
+        self.sync_to(lsn);
+        lsn
+    }
+
+    /// Flushes everything appended so far (used by checkpoints and by
+    /// `NoSyncOnCommit` background flushing).
+    pub fn flush_all(&self) {
+        let lsn = self.state.lock().appended_lsn;
+        self.sync_to(lsn);
+    }
+
+    /// The LSN up to which the log is known durable.
+    #[must_use]
+    pub fn durable_lsn(&self) -> u64 {
+        self.state.lock().durable_lsn
+    }
+
+    /// Statistics of the underlying device.
+    #[must_use]
+    pub fn device_stats(&self) -> DiskStats {
+        self.device.stats()
+    }
+
+    /// Reads back every record currently *durable* on the device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::Corruption`] from decoding.
+    pub fn durable_records(&self) -> Result<Vec<WalRecord>> {
+        WalRecord::decode_all(&self.device.durable_contents())
+    }
+
+    /// The underlying device (shared with the engine for crash simulation).
+    #[must_use]
+    pub fn device(&self) -> Arc<dyn LogDevice> {
+        Arc::clone(&self.device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+    use std::thread;
+
+    use tashkent_common::{TableId, Value, WriteItem};
+
+    use super::*;
+    use crate::disk::SimulatedDisk;
+
+    fn commit_record(version: u64, key: i64) -> WalRecord {
+        WalRecord::Commit {
+            version: Version(version),
+            writeset: WriteSet::from_items(vec![WriteItem::update(
+                TableId(0),
+                key,
+                vec![("x".into(), Value::Int(key))],
+            )]),
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let records = vec![
+            commit_record(1, 10),
+            WalRecord::Checkpoint {
+                version: Version(1),
+            },
+            commit_record(2, 20),
+        ];
+        let mut log = Vec::new();
+        for r in &records {
+            log.extend_from_slice(&r.encode());
+        }
+        let decoded = WalRecord::decode_all(&log).unwrap();
+        assert_eq!(decoded, records);
+        assert_eq!(decoded[0].version(), Version(1));
+        assert_eq!(decoded[1].version(), Version(1));
+    }
+
+    #[test]
+    fn torn_tail_is_silently_dropped() {
+        let mut log = commit_record(1, 1).encode();
+        let second = commit_record(2, 2).encode();
+        log.extend_from_slice(&second[..second.len() / 2]);
+        let decoded = WalRecord::decode_all(&log).unwrap();
+        assert_eq!(decoded.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_frame_is_detected() {
+        let mut log = commit_record(1, 1).encode();
+        let len = log.len();
+        log[len - 1] ^= 0xFF; // Flip a payload byte: checksum must fail.
+        assert!(matches!(
+            WalRecord::decode_all(&log),
+            Err(Error::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn append_durable_persists_records() {
+        let disk = Arc::new(SimulatedDisk::instant());
+        let wal = WalWriter::new(disk.clone());
+        wal.append_durable(&commit_record(1, 1));
+        wal.append(&commit_record(2, 2));
+        // Record 2 was appended but not synced: a crash loses it.
+        disk.crash();
+        let recovered = WalRecord::decode_all(&disk.durable_contents()).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].version(), Version(1));
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_commits() {
+        let disk = Arc::new(SimulatedDisk::new(crate::disk::DiskConfig {
+            fsync_latency: std::time::Duration::from_millis(2),
+            sleep: true,
+            ..crate::disk::DiskConfig::default()
+        }));
+        let wal = Arc::new(WalWriter::new(disk.clone()));
+        let threads: Vec<_> = (0..16)
+            .map(|i| {
+                let wal = Arc::clone(&wal);
+                thread::spawn(move || {
+                    wal.append_durable(&commit_record(i + 1, i as i64));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = disk.stats();
+        // All 16 records are durable…
+        assert_eq!(stats.group_commit.records, 16);
+        assert_eq!(wal.durable_records().unwrap().len(), 16);
+        // …but group commit needed far fewer fsyncs than records.
+        assert!(
+            stats.fsyncs < 16,
+            "expected grouping, got {} fsyncs",
+            stats.fsyncs
+        );
+    }
+
+    #[test]
+    fn flush_all_covers_unsynced_records() {
+        let disk = Arc::new(SimulatedDisk::instant());
+        let wal = WalWriter::new(disk.clone());
+        wal.append(&commit_record(1, 1));
+        wal.append(&commit_record(2, 2));
+        assert_eq!(wal.durable_records().unwrap().len(), 0);
+        wal.flush_all();
+        assert_eq!(wal.durable_records().unwrap().len(), 2);
+        assert!(wal.durable_lsn() > 0);
+    }
+}

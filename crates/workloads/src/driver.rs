@@ -1,0 +1,151 @@
+//! A closed-loop client driver for running a workload against a real
+//! in-process cluster for a fixed wall-clock duration.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tashkent::Cluster;
+use tashkent_common::{ClientId, LatencyHistogram};
+
+use crate::generators::Workload;
+
+/// Configuration of one driver run.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Closed-loop clients per replica.
+    pub clients_per_replica: usize,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+    /// Random seed (each client derives its own stream from it).
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            clients_per_replica: 2,
+            duration: Duration::from_millis(300),
+            seed: 0x7A5B_2001,
+        }
+    }
+}
+
+/// Result of a driver run.
+#[derive(Debug, Clone, Default)]
+pub struct DriverReport {
+    /// Committed transactions (updates + read-only).
+    pub committed: u64,
+    /// Committed read-only transactions.
+    pub read_only: u64,
+    /// Aborted transactions (retryable conflicts).
+    pub aborted: u64,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+    /// Response-time distribution of committed transactions.
+    pub latency: LatencyHistogram,
+}
+
+impl DriverReport {
+    /// Committed transactions per second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / secs
+        }
+    }
+}
+
+/// Runs `workload` against `cluster` with closed-loop clients on every
+/// replica and aggregates the results.
+///
+/// Retryable aborts (write-write conflicts, certification failures) are
+/// counted and the client immediately moves on to its next transaction;
+/// non-retryable errors (component crashes) stop that client.
+#[must_use]
+pub fn run_driver(cluster: &Arc<Cluster>, workload: &Arc<dyn Workload>, config: &DriverConfig) -> DriverReport {
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    let start = Instant::now();
+    for replica in 0..cluster.replica_count() {
+        for client in 0..config.clients_per_replica {
+            let cluster = Arc::clone(cluster);
+            let workload = Arc::clone(workload);
+            let stop = Arc::clone(&stop);
+            let client_id = ClientId((replica * config.clients_per_replica + client) as u64);
+            let seed = config
+                .seed
+                .wrapping_add(client_id.0)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            handles.push(thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut report = DriverReport::default();
+                while !stop.load(Ordering::Relaxed) {
+                    let begun = Instant::now();
+                    match workload.run_one(&cluster, replica, client_id, &mut rng) {
+                        Ok(is_update) => {
+                            report.committed += 1;
+                            if !is_update {
+                                report.read_only += 1;
+                            }
+                            report.latency.record(begun.elapsed());
+                        }
+                        Err(e) if e.is_retryable_abort() => report.aborted += 1,
+                        Err(_) => break,
+                    }
+                }
+                report
+            }));
+        }
+    }
+    thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut total = DriverReport::default();
+    for handle in handles {
+        if let Ok(report) = handle.join() {
+            total.committed += report.committed;
+            total.read_only += report.read_only;
+            total.aborted += report.aborted;
+            total.latency.merge(&report.latency);
+        }
+    }
+    total.elapsed = start.elapsed();
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use tashkent::{ClusterConfig, SystemKind};
+
+    use super::*;
+    use crate::generators::AllUpdates;
+
+    #[test]
+    fn driver_runs_clients_on_every_replica() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::small(SystemKind::TashkentMw)).unwrap());
+        let workload: Arc<dyn Workload> = Arc::new(AllUpdates::default());
+        workload.setup(&cluster);
+        let report = run_driver(
+            &cluster,
+            &workload,
+            &DriverConfig {
+                clients_per_replica: 2,
+                duration: Duration::from_millis(200),
+                seed: 7,
+            },
+        );
+        assert!(report.committed > 0);
+        assert!(report.throughput() > 0.0);
+        assert_eq!(
+            cluster.system_version().value(),
+            report.committed - report.read_only
+        );
+        assert!(report.latency.count() == report.committed);
+    }
+}

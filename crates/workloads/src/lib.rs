@@ -1,0 +1,18 @@
+//! Workload generators and closed-loop drivers for the Tashkent
+//! reproduction: AllUpdates, TPC-B and a compact TPC-W shopping mix.
+//!
+//! These workloads drive the *real* in-process cluster (`tashkent::Cluster`)
+//! and are used by the examples, by the cross-crate integration tests and by
+//! the functional benchmarks.  (The paper-scale performance sweeps use the
+//! calibrated discrete-event model in `tashkent-sim` instead, because the
+//! absolute numbers depend on an 8 ms-fsync disk that a unit-test host does
+//! not have.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod generators;
+
+pub use driver::{DriverConfig, DriverReport, run_driver};
+pub use generators::{AllUpdates, TpcB, TpcW, Workload};

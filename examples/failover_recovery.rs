@@ -1,0 +1,75 @@
+//! Fault-tolerance walkthrough (Section 7): crash and recover a database
+//! replica under each replication design, and fail over the certifier
+//! leader, demonstrating that no committed transaction is ever lost.
+//!
+//! Run with: `cargo run --example failover_recovery`
+
+use tashkent::{CertifierNodeId, Cluster, ClusterConfig, SystemKind, Value};
+
+fn commit_key(cluster: &Cluster, table: tashkent::TableId, replica: usize, key: i64) {
+    let session = cluster.session(replica);
+    let tx = session.begin();
+    tx.insert(table, key, vec![("v".into(), Value::Int(key * 10))])
+        .unwrap();
+    tx.commit().unwrap();
+}
+
+fn main() {
+    for system in SystemKind::ALL {
+        println!("=== {} ===", system.label());
+        let mut config = ClusterConfig::small(system);
+        config.replicas = 2;
+        let cluster = Cluster::new(config).expect("valid configuration");
+        let table = cluster.create_table("kv", &["v"]);
+
+        // Commit ten transactions through replica 0.
+        for key in 0..10 {
+            commit_key(&cluster, table, 0, key);
+        }
+        cluster.sync_all().unwrap();
+
+        // Tashkent-MW keeps durability in the middleware, so the middleware
+        // periodically dumps each replica (Section 7.1).
+        let dump_bytes = cluster.replica(1).take_dump();
+        println!("  took replica dump: {dump_bytes} bytes at version {}", cluster.replica(1).version());
+
+        // More commits after the dump, then crash replica 1.
+        for key in 10..15 {
+            commit_key(&cluster, table, 0, key);
+        }
+        cluster.replica(1).crash();
+        println!("  replica 1 crashed at system version {}", cluster.system_version());
+
+        // Certifier leader fail-over: progress continues with a majority.
+        cluster.crash_certifier_node(CertifierNodeId(0));
+        for key in 15..18 {
+            commit_key(&cluster, table, 0, key);
+        }
+        println!(
+            "  certifier leader crashed and failed over; system version now {}",
+            cluster.system_version()
+        );
+
+        // Recover the replica: WAL redo (Base / Tashkent-API) or dump restore
+        // (Tashkent-MW), then catch-up from the certifier log.
+        let applied = cluster.replica(1).recover().unwrap();
+        println!(
+            "  replica 1 recovered, re-applied {applied} writesets, now at version {}",
+            cluster.replica(1).version()
+        );
+
+        // Every committed row is present on the recovered replica.
+        let session = cluster.session(1);
+        let tx = session.begin();
+        for key in 0..18 {
+            let row = tx.read(table, key).unwrap().expect("row survived");
+            assert_eq!(row.get("v"), Some(&Value::Int(key * 10)));
+        }
+        tx.commit().unwrap();
+        println!("  all 18 committed rows verified on the recovered replica");
+
+        // Bring the crashed certifier node back as well.
+        cluster.recover_certifier_node(CertifierNodeId(0)).unwrap();
+        println!("  certifier node 0 recovered via state transfer\n");
+    }
+}

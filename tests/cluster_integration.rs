@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: real workloads running on real clusters of
+//! every system kind, checking convergence, conflict handling and recovery.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tashkent::{Cluster, ClusterConfig, SystemKind, Value, Version};
+use tashkent_workloads::{run_driver, AllUpdates, DriverConfig, TpcB, Workload};
+
+fn small_cluster(system: SystemKind, replicas: usize) -> Arc<Cluster> {
+    let mut config = ClusterConfig::small(system);
+    config.replicas = replicas;
+    Arc::new(Cluster::new(config).unwrap())
+}
+
+#[test]
+fn allupdates_driver_converges_on_every_system() {
+    for system in SystemKind::ALL {
+        let cluster = small_cluster(system, 3);
+        let workload: Arc<dyn Workload> = Arc::new(AllUpdates::default());
+        workload.setup(&cluster);
+        let report = run_driver(
+            &cluster,
+            &workload,
+            &DriverConfig {
+                clients_per_replica: 3,
+                duration: Duration::from_millis(250),
+                seed: 11,
+            },
+        );
+        assert!(report.committed > 0, "system {system}");
+        // AllUpdates clients write disjoint keys, so aborts are rare (they
+        // can only come from scheduling races under heavy test parallelism,
+        // never from data conflicts).
+        assert!(
+            report.aborted <= report.committed / 10,
+            "system {system}: {} aborts vs {} commits",
+            report.aborted,
+            report.committed
+        );
+        // Every transaction the driver observed as committed was ordered by
+        // the certifier (the certifier may have ordered a few more whose
+        // responses raced with the end of the measurement window).
+        assert!(
+            cluster.system_version().value() >= report.committed,
+            "system {system}"
+        );
+        // After syncing, every replica holds the full prefix.
+        cluster.sync_all().unwrap();
+        for (replica, version) in cluster.replica_versions() {
+            assert_eq!(
+                version,
+                cluster.system_version(),
+                "system {system} replica {replica}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tpcb_conflicts_abort_but_invariants_hold_across_replicas() {
+    for system in [SystemKind::TashkentMw, SystemKind::TashkentApi] {
+        let cluster = small_cluster(system, 2);
+        let workload: Arc<dyn Workload> = Arc::new(TpcB {
+            branches: 2,
+            tellers_per_branch: 2,
+            accounts_per_branch: 100,
+        });
+        workload.setup(&cluster);
+        let report = run_driver(
+            &cluster,
+            &workload,
+            &DriverConfig {
+                clients_per_replica: 2,
+                duration: Duration::from_millis(200),
+                seed: 13,
+            },
+        );
+        assert!(report.committed > 0, "system {system}");
+        cluster.sync_all().unwrap();
+        // The TPC-B invariant holds identically on every replica.
+        let mut totals = Vec::new();
+        for r in 0..cluster.replica_count() {
+            let db = cluster.replica(r).database();
+            let branches = db.table_id("branches").unwrap();
+            let tx = db.begin();
+            let total: i64 = tx
+                .scan(branches)
+                .unwrap()
+                .iter()
+                .filter_map(|(_, row)| row.get("balance").and_then(Value::as_int))
+                .sum();
+            tx.abort();
+            totals.push(total);
+        }
+        assert!(totals.windows(2).all(|w| w[0] == w[1]), "system {system}: {totals:?}");
+    }
+}
+
+#[test]
+fn replica_recovery_during_load_loses_nothing() {
+    let cluster = small_cluster(SystemKind::TashkentMw, 2);
+    let table = cluster.create_table("kv", &["v"]);
+    for key in 0..25 {
+        let tx = cluster.session(0).begin();
+        tx.insert(table, key, vec![("v".into(), Value::Int(key))]).unwrap();
+        tx.commit().unwrap();
+        if key == 10 {
+            cluster.sync_all().unwrap();
+            cluster.replica(1).take_dump();
+        }
+    }
+    cluster.replica(1).crash();
+    let applied = cluster.replica(1).recover().unwrap();
+    assert!(applied >= 14, "applied {applied}");
+    assert_eq!(cluster.replica(1).version(), Version(25));
+    let tx = cluster.session(1).begin();
+    for key in 0..25 {
+        assert!(tx.read(table, key).unwrap().is_some());
+    }
+    tx.commit().unwrap();
+}
+
+#[test]
+fn snapshot_reads_are_stable_while_updates_flow() {
+    let cluster = small_cluster(SystemKind::TashkentApi, 2);
+    let table = cluster.create_table("kv", &["v"]);
+    let tx = cluster.session(0).begin();
+    tx.insert(table, 1, vec![("v".into(), Value::Int(1))]).unwrap();
+    tx.commit().unwrap();
+    cluster.sync_all().unwrap();
+
+    // A long-running read-only transaction on replica 1 keeps its snapshot
+    // while replica 0 keeps committing new versions of the row.
+    let reader_session = cluster.session(1);
+    let reader = reader_session.begin();
+    let before = reader.read(table, 1).unwrap().unwrap();
+    for i in 2..6 {
+        let tx = cluster.session(0).begin();
+        tx.update(table, 1, vec![("v".into(), Value::Int(i))]).unwrap();
+        tx.commit().unwrap();
+        cluster.replica(1).proxy().refresh().unwrap();
+    }
+    let after = reader.read(table, 1).unwrap().unwrap();
+    assert_eq!(before, after, "read-only snapshot must be stable");
+    reader.commit().unwrap();
+    // A fresh transaction sees the latest version.
+    let tx = cluster.session(1).begin();
+    assert_eq!(
+        tx.read(table, 1).unwrap().unwrap().get("v"),
+        Some(&Value::Int(5))
+    );
+    tx.commit().unwrap();
+}
