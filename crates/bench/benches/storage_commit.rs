@@ -18,6 +18,7 @@ fn engine(sync_mode: SyncMode, fsync_us: u64) -> Database {
             ..DiskConfig::default()
         },
         ordered_commit_timeout: Duration::from_secs(5),
+        ..EngineConfig::default()
     });
     db.create_table("t", &["x"]);
     db

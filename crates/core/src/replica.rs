@@ -48,6 +48,7 @@ impl ReplicaNode {
                 sleep: false,
             },
             ordered_commit_timeout: Duration::from_secs(1),
+            lock_wait_timeout: Duration::from_secs(1),
         };
         let db = Database::new(engine_config.clone());
         let proxy_config = ProxyConfig {

@@ -203,6 +203,13 @@ impl Proxy {
     /// Fails if the certifier majority is unavailable or the database
     /// crashed.
     pub fn refresh(&self) -> Result<usize> {
+        // Racy fast path: while ordered commits are outstanding the serial
+        // install below would decline anyway, so skip the O(backlog) fetch
+        // and clone.  The authoritative check runs under the state lock in
+        // `apply_remotes_serial`; this one can only skip work, never apply.
+        if self.shared.db.announce_counter() < self.shared.state.lock().order_counter {
+            return Ok(0);
+        }
         let since = self.replica_version();
         let remotes = self.shared.certifier.writesets_after(since);
         if remotes.is_empty() {
@@ -210,14 +217,29 @@ impl Proxy {
             return Ok(0);
         }
         let _guard = self.shared.apply_lock.lock();
-        let count = {
-            let mut state = self.shared.state.lock();
-            state.stats.refreshes += 1;
-            state.last_contact = Instant::now();
-            drop(state);
-            self.apply_remotes_serial(&remotes)?
-        };
-        Ok(count)
+        match self.apply_remotes_serial(&remotes, false) {
+            Ok(Some(count)) => {
+                let mut state = self.shared.state.lock();
+                state.stats.refreshes += 1;
+                state.last_contact = Instant::now();
+                Ok(count)
+            }
+            // Declined: ordered commits are in flight and the fetched
+            // writesets were dropped.  Leave `last_contact` untouched so the
+            // staleness clock keeps ticking and the next `maybe_refresh`
+            // retries promptly instead of waiting out a full staleness bound
+            // while believing the replica is fresh.
+            Ok(None) => Ok(0),
+            Err(e) => {
+                // The failed install already advanced the scheduling state
+                // past writesets that never reached the engine; resync before
+                // surfacing the error, or the certifier (which only resends
+                // versions above the reported `replica_version`) would never
+                // deliver them again.
+                self.resync_locked()?;
+                Err(e)
+            }
+        }
     }
 
     /// Calls [`Proxy::refresh`] if the staleness bound has elapsed since the
@@ -249,6 +271,13 @@ impl Proxy {
     /// Fails if the certifier is unavailable or the database crashed.
     pub fn resync(&self) -> Result<usize> {
         let _guard = self.shared.apply_lock.lock();
+        self.resync_locked()
+    }
+
+    /// [`Proxy::resync`] body, for callers that already hold the apply lock
+    /// (re-locking it would self-deadlock; `parking_lot::Mutex` is not
+    /// reentrant).
+    fn resync_locked(&self) -> Result<usize> {
         {
             let mut state = self.shared.state.lock();
             state.stats.resyncs += 1;
@@ -260,7 +289,11 @@ impl Proxy {
         }
         let since = self.shared.db.version();
         let remotes = self.shared.certifier.writesets_after(since);
-        self.apply_remotes_serial(&remotes)
+        // Force-fill: a pipeline that grabs a fresh order index between the
+        // reset above and this install must not turn recovery into a no-op,
+        // so the install burns such indices instead of declining; their
+        // owners abort and recover through this same resync path.
+        Ok(self.apply_remotes_serial(&remotes, true)?.unwrap_or(0))
     }
 
     // ----- internals -----
@@ -294,10 +327,38 @@ impl Proxy {
     /// Serially applies a list of remote writesets (grouped into a single
     /// replica transaction), updating the scheduling state.  Used by Base,
     /// Tashkent-MW, refresh and resync.
-    fn apply_remotes_serial(&self, remotes: &[RemoteWriteSet]) -> Result<usize> {
+    ///
+    /// Returns `Ok(None)` — with no side effects — when the install was
+    /// declined because ordered commits are outstanding (never happens with
+    /// `force_fill`), otherwise `Ok(Some(n))` with the number of writesets
+    /// applied.
+    fn apply_remotes_serial(
+        &self,
+        remotes: &[RemoteWriteSet],
+        force_fill: bool,
+    ) -> Result<Option<usize>> {
         // Filter to versions not yet scheduled and record them.
         let (to_apply, target_version) = {
             let mut state = self.shared.state.lock();
+            // With the ordered-commit API, a serial grouped install is only
+            // safe while no handed-out order index is outstanding: an
+            // in-flight ordered commit holds a version below anything this
+            // batch would install, and letting it announce afterwards would
+            // put row versions out of order.  Decline and let the caller
+            // retry once the pipelines have drained — except on the resync
+            // path (`force_fill`), which must make progress: there the
+            // outstanding indices are burned, and their owners abort and
+            // recover through that same resync.  (The counters are checked
+            // under the same state lock that schedules pipelines, so no new
+            // index can be handed out concurrently; for Base and Tashkent-MW
+            // both counters stay zero and this never declines.)
+            if self.shared.db.announce_counter() < state.order_counter {
+                if force_fill {
+                    self.shared.db.force_announce_counter(state.order_counter);
+                } else {
+                    return Ok(None);
+                }
+            }
             let base = state.scheduled_through;
             let to_apply: Vec<&RemoteWriteSet> = remotes
                 .iter()
@@ -310,13 +371,25 @@ impl Proxy {
                 state.seen.record(remote.commit_version, &remote.writeset);
             }
             state.scheduled_through = target;
+            // Known limitation: the counter check above only holds at this
+            // instant.  Once the state lock drops, another client may
+            // schedule a higher version and announce it while this grouped
+            // install is still in flight, briefly exposing a snapshot that
+            // has the higher version but not yet this batch.  Reserving an
+            // order index here to make later commits wait was tried and
+            // reverted: the install then holds the announce chain across its
+            // row-lock acquisitions, and a concurrently spawned ordered
+            // apply that grabs a contended row first waits on the chain
+            // behind this install — a lock-vs-announce inversion whose
+            // timeout/resync churn livelocks the cluster under contention
+            // (TPC-B throughput collapsed ~100×).  See ROADMAP "Open items".
             (
                 to_apply.iter().map(|r| (*r).clone()).collect::<Vec<_>>(),
                 target,
             )
         };
         if to_apply.is_empty() {
-            return Ok(0);
+            return Ok(Some(0));
         }
         let merged = WriteSet::merged(to_apply.iter().map(|r| &r.writeset));
         self.wound_conflicting_locals(&merged, None);
@@ -324,7 +397,7 @@ impl Proxy {
         let mut state = self.shared.state.lock();
         state.stats.remote_writesets_applied += to_apply.len() as u64;
         state.stats.remote_apply_transactions += 1;
-        Ok(to_apply.len())
+        Ok(Some(to_apply.len()))
     }
 
     /// The serial commit pipeline used by Base and Tashkent-MW
@@ -345,7 +418,24 @@ impl Proxy {
             tx.abort();
         }
         // [C4] apply the grouped remote writesets in their own transaction.
-        self.apply_remotes_serial(remotes)?;
+        match self.apply_remotes_serial(remotes, false) {
+            Ok(Some(_)) => {}
+            // Serial-pipeline systems never hand out order indices (only
+            // `commit_concurrent` and ordered grouped installs increment
+            // `order_counter`), so a decline cannot happen here.  Failing
+            // loudly beats silently skipping the batch: [C5] below advances
+            // `scheduled_through`, after which the certifier would never
+            // resend these writesets.
+            Ok(None) => unreachable!("serial grouped install declined on a serial-pipeline system"),
+            Err(_) => {
+                // The failed install advanced the scheduling state past
+                // writesets that never reached the engine; resync re-applies
+                // them — and, if this transaction was certified, its own
+                // logged writeset too, in which case the already-applied
+                // check below routes around the local commit.
+                self.resync_locked()?;
+            }
+        }
         // [C5] finalise the local commit.
         if !decision_commit {
             let mut state = self.shared.state.lock();
@@ -378,8 +468,10 @@ impl Proxy {
             // The local transaction may have been aborted under us by eager
             // pre-certification (a certified remote writeset needed one of
             // its locks).  Its certified effects are recovered by a resync;
-            // the client sees a retryable conflict.
-            self.resync()?;
+            // the client sees a retryable conflict.  `commit_serial` already
+            // holds the apply lock, so use the lock-free body — calling
+            // `resync()` here would re-lock `apply_lock` and self-deadlock.
+            self.resync_locked()?;
             let mut state = self.shared.state.lock();
             state.stats.engine_aborts += 1;
             drop(state);
@@ -394,6 +486,29 @@ impl Proxy {
         self.shared.state.lock().stats.update_commits += 1;
         Ok(CommitOutcome {
             commit_version: Some(version),
+            read_only: false,
+        })
+    }
+
+    /// Common epilogue of the Tashkent-API pipeline: records the final
+    /// outcome of an update transaction whose remote writesets have been
+    /// installed (directly or through a recovery resync).
+    fn finish_update_commit(
+        &self,
+        tx: &TxHandle,
+        decision_commit: bool,
+        commit_version: Option<Version>,
+    ) -> Result<CommitOutcome> {
+        if !decision_commit {
+            self.shared.state.lock().stats.certifier_aborts += 1;
+            return Err(Error::CertificationFailed {
+                start_version: tx.start_version(),
+                detail: "certifier aborted the transaction".into(),
+            });
+        }
+        self.shared.state.lock().stats.update_commits += 1;
+        Ok(CommitOutcome {
+            commit_version,
             read_only: false,
         })
     }
@@ -413,6 +528,59 @@ impl Proxy {
         // write locks on rows the remote writesets are about to modify.
         if !decision_commit {
             tx.abort();
+        }
+        // A replica that has fallen far behind must not stream its whole
+        // backlog through the thread-per-writeset concurrent pipeline: every
+        // artificial-conflict barrier costs a join, any stalled predecessor
+        // cascades down the announce order, and a failure restarts the whole
+        // (still-growing) batch.  Catch up with the serial grouped path first
+        // and keep the concurrent pipeline for the small steady-state tail.
+        // This is deliberately NOT `resync()`: nothing failed, so the order
+        // counters must not be force-advanced (that would abort every
+        // in-flight ordered commit of other clients) and the scheduling
+        // state must only move forward.  `apply_remotes_serial` declines
+        // (with no side effects) while ordered commits are outstanding — a
+        // grouped install that jumped over their versions would either
+        // misorder row chains or strand their writesets.
+        const CONCURRENT_WINDOW: usize = 64;
+        let mut remotes = remotes;
+        let mut defer_local_commit = false;
+        if remotes.len() > CONCURRENT_WINDOW {
+            let catch_up = {
+                let _guard = self.shared.apply_lock.lock();
+                self.apply_remotes_serial(remotes, false)
+            };
+            match catch_up {
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    // Declined: ordered commits are in flight.  Schedule only
+                    // a bounded prefix through the pipeline this round —
+                    // streaming the whole backlog serialises on artificial
+                    // conflict barriers, and under load the backlog grows
+                    // faster than the barrier-bound pipeline drains it.  The
+                    // local commit is deferred to the remote path: its
+                    // writeset is already in the certifier log, so a later
+                    // fetch delivers it *after* the tail it must not jump
+                    // over.  (Scheduling it now would advance
+                    // `scheduled_through` past the unscheduled tail, which
+                    // the certifier — resending only versions above the
+                    // reported `replica_version` — would then never deliver.)
+                    remotes = &remotes[..CONCURRENT_WINDOW];
+                    defer_local_commit = decision_commit;
+                }
+                Err(_) => {
+                    // The failed install advanced the scheduling state past
+                    // writesets that never reached the engine; recover
+                    // exactly like the pipeline-failure path below.  The
+                    // local transaction aborts, but if it was certified its
+                    // writeset is already in the certifier log, so the
+                    // resync re-applies its effects through the remote path
+                    // — report it committed.
+                    tx.abort();
+                    self.resync()?;
+                    return self.finish_update_commit(tx, decision_commit, commit_version);
+                }
+            }
         }
         // Schedule: assign dense order indices in global version order to
         // every not-yet-scheduled remote writeset plus (if certified) the
@@ -443,7 +611,7 @@ impl Proxy {
                     needs_barrier,
                 });
             }
-            let own_slot = if decision_commit {
+            let own_slot = if decision_commit && !defer_local_commit {
                 let version = commit_version.expect("commit decision carries a version");
                 if version <= state.scheduled_through {
                     // Already covered by the remote path (another client of
@@ -464,6 +632,26 @@ impl Proxy {
 
         // Submit remote writesets concurrently, inserting a barrier before
         // any writeset with an artificial conflict.
+        fn join_one(
+            handle: thread::JoinHandle<Result<Version>>,
+            failures: &mut Vec<Error>,
+            apply_transactions: &mut u64,
+        ) {
+            match handle.join() {
+                Ok(Ok(_)) => *apply_transactions += 1,
+                Ok(Err(e)) => failures.push(e),
+                Err(_) => failures.push(Error::Protocol("apply thread panicked".into())),
+            }
+        }
+        fn drain_joins(
+            handles: &mut Vec<thread::JoinHandle<Result<Version>>>,
+            failures: &mut Vec<Error>,
+            apply_transactions: &mut u64,
+        ) {
+            for handle in handles.drain(..) {
+                join_one(handle, failures, apply_transactions);
+            }
+        }
         let mut handles: Vec<thread::JoinHandle<Result<Version>>> = Vec::new();
         let mut failures: Vec<Error> = Vec::new();
         let mut applied = 0u64;
@@ -472,13 +660,15 @@ impl Proxy {
         for item in scheduled {
             if item.needs_barrier && !handles.is_empty() {
                 barriers += 1;
-                for handle in handles.drain(..) {
-                    match handle.join() {
-                        Ok(Ok(_)) => apply_transactions += 1,
-                        Ok(Err(e)) => failures.push(e),
-                        Err(_) => failures.push(Error::Protocol("apply thread panicked".into())),
-                    }
-                }
+                drain_joins(&mut handles, &mut failures, &mut apply_transactions);
+            } else if handles.len() >= CONCURRENT_WINDOW {
+                // Bound the live apply threads even when the serial catch-up
+                // declined and the whole backlog streams through this
+                // pipeline: without a cap a rejoining replica could spawn
+                // one OS thread per backlog entry.  Join only the oldest —
+                // under ordered announces it finishes first — so the window
+                // stays full instead of draining to empty every 64 items.
+                join_one(handles.remove(0), &mut failures, &mut apply_transactions);
             }
             self.wound_conflicting_locals(&item.remote.writeset, Some(tx));
             let db = self.shared.db.clone();
@@ -502,18 +692,13 @@ impl Proxy {
                 }
             }
         } else {
-            // Effects already applied through the remote path.
+            // Effects already applied through the remote path, or (in a
+            // bounded catch-up round) deferred to a later remote fetch.
             tx.abort();
             commit_version
         };
 
-        for handle in handles {
-            match handle.join() {
-                Ok(Ok(_)) => apply_transactions += 1,
-                Ok(Err(e)) => failures.push(e),
-                Err(_) => failures.push(Error::Protocol("apply thread panicked".into())),
-            }
-        }
+        drain_joins(&mut handles, &mut failures, &mut apply_transactions);
         {
             let mut state = self.shared.state.lock();
             state.stats.remote_writesets_applied += applied;
@@ -522,36 +707,14 @@ impl Proxy {
         }
 
         if !failures.is_empty() {
-            // Soft recovery: bring the replica back in sync serially.
+            // Soft recovery: bring the replica back in sync serially.  The
+            // local commit's effects are then applied via the resync if they
+            // were certified, so the epilogue still reports success.
             self.resync()?;
-            if !decision_commit {
-                self.shared.state.lock().stats.certifier_aborts += 1;
-                return Err(Error::CertificationFailed {
-                    start_version: tx.start_version(),
-                    detail: "certifier aborted the transaction".into(),
-                });
-            }
-            // The local commit's effects are now applied via resync if they
-            // were certified; report success.
-            self.shared.state.lock().stats.update_commits += 1;
-            return Ok(CommitOutcome {
-                commit_version,
-                read_only: false,
-            });
+            return self.finish_update_commit(tx, decision_commit, commit_version);
         }
 
-        if !decision_commit {
-            self.shared.state.lock().stats.certifier_aborts += 1;
-            return Err(Error::CertificationFailed {
-                start_version: tx.start_version(),
-                detail: "certifier aborted the transaction".into(),
-            });
-        }
-        self.shared.state.lock().stats.update_commits += 1;
-        Ok(CommitOutcome {
-            commit_version: outcome.or(commit_version),
-            read_only: false,
-        })
+        self.finish_update_commit(tx, decision_commit, outcome.or(commit_version))
     }
 
     fn commit_transaction(&self, ptx: &ProxyTransaction) -> Result<CommitOutcome> {
@@ -679,9 +842,8 @@ impl ProxyTransaction {
         key: impl Into<RowKey>,
         row: Vec<(String, Value)>,
     ) -> Result<()> {
-        self.tx.insert(table, key, row).map_err(|e| {
+        self.tx.insert(table, key, row).inspect_err(|_| {
             self.proxy.record_engine_abort();
-            e
         })
     }
 
@@ -696,9 +858,8 @@ impl ProxyTransaction {
         key: impl Into<RowKey>,
         columns: Vec<(String, Value)>,
     ) -> Result<()> {
-        self.tx.update(table, key, columns).map_err(|e| {
+        self.tx.update(table, key, columns).inspect_err(|_| {
             self.proxy.record_engine_abort();
-            e
         })
     }
 
@@ -708,9 +869,8 @@ impl ProxyTransaction {
     ///
     /// Propagates engine conflicts / deadlocks.
     pub fn delete(&self, table: TableId, key: impl Into<RowKey>) -> Result<()> {
-        self.tx.delete(table, key).map_err(|e| {
+        self.tx.delete(table, key).inspect_err(|_| {
             self.proxy.record_engine_abort();
-            e
         })
     }
 

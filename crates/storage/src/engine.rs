@@ -42,6 +42,10 @@ use crate::schema::Catalog;
 use crate::txn::{Transaction, TxState};
 use crate::wal::{WalRecord, WalWriter};
 
+/// Row images buffered by a transaction, keyed by `(table, row)` — the
+/// payload [`Database::prepare_commit`] hands to the install step.
+type WriteBuffer = HashMap<(TableId, RowKey), Option<Row>>;
+
 /// Configuration of one database engine instance.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -53,6 +57,12 @@ pub struct EngineConfig {
     /// engine resolves the stall by aborting it (protects against the
     /// API-misuse case of Section 5.2: `COMMIT 9` without `COMMIT 1-8`).
     pub ordered_commit_timeout: Duration,
+    /// Bound on one blocking row-lock wait.  Cycles that pass through
+    /// components outside the engine (the proxy's apply mutex, the ordered
+    /// announce order) are invisible to the wait-for-graph deadlock
+    /// detector; when the bound elapses the waiter aborts as a presumed
+    /// deadlock victim, which clients treat as a retryable conflict.
+    pub lock_wait_timeout: Duration,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +71,7 @@ impl Default for EngineConfig {
             sync_mode: SyncMode::Durable,
             disk: DiskConfig::default(),
             ordered_commit_timeout: Duration::from_secs(5),
+            lock_wait_timeout: crate::locks::DEFAULT_LOCK_WAIT,
         }
     }
 }
@@ -170,7 +181,7 @@ impl Database {
                 announced: Condvar::new(),
                 txns: Mutex::new(HashMap::new()),
                 next_tx: AtomicU64::new(1),
-                locks: LockManager::new(),
+                locks: LockManager::with_max_wait(config.lock_wait_timeout),
                 wal: WalWriter::new(Arc::clone(&device)),
                 device,
                 sync_mode: Mutex::new(config.sync_mode),
@@ -722,7 +733,7 @@ impl Database {
     fn prepare_commit(
         &self,
         id: TxId,
-    ) -> Result<Option<(WriteSet, HashMap<(TableId, RowKey), Option<Row>>, Version)>> {
+    ) -> Result<Option<(WriteSet, WriteBuffer, Version)>> {
         self.check_alive()?;
         if self.shared.locks.is_wounded(id) {
             self.abort_tx(id);
@@ -789,7 +800,7 @@ impl Database {
     fn install(
         &self,
         data: &mut DataState,
-        buffer: &HashMap<(TableId, RowKey), Option<Row>>,
+        buffer: &WriteBuffer,
         version: Version,
     ) {
         for ((table, key), image) in buffer {

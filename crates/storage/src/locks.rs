@@ -20,9 +20,13 @@
 //! writeset ever blocks; it uses [`LockManager::wound`] to do so.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use tashkent_common::{Error, Result, RowKey, TableId, TxId};
+
+/// Default bound on one blocking lock wait (see [`LockManager::with_max_wait`]).
+pub const DEFAULT_LOCK_WAIT: Duration = Duration::from_secs(1);
 
 /// A lockable resource: one row of one table.
 pub type Resource = (TableId, RowKey);
@@ -56,17 +60,43 @@ struct LockState {
 }
 
 /// The lock manager of one database engine.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LockManager {
     state: Mutex<LockState>,
     changed: Condvar,
+    max_wait: Duration,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::with_max_wait(DEFAULT_LOCK_WAIT)
+    }
 }
 
 impl LockManager {
-    /// Creates an empty lock manager.
+    /// Creates an empty lock manager with the default wait bound.
     #[must_use]
     pub fn new() -> Self {
         LockManager::default()
+    }
+
+    /// Creates an empty lock manager whose blocking [`LockManager::acquire`]
+    /// gives up after `max_wait`, reporting the requester as a presumed
+    /// deadlock victim.
+    ///
+    /// The wait-for graph only tracks engine-local lock waits, so cycles that
+    /// pass through other components (the proxy's apply mutex, the ordered
+    /// commit announce order, a thread join in the Tashkent-API pipeline)
+    /// are invisible to cycle detection.  The bound converts any such stall
+    /// into a retryable abort instead of a permanent hang — the same
+    /// fallback real databases employ (cf. PostgreSQL's `deadlock_timeout`).
+    #[must_use]
+    pub fn with_max_wait(max_wait: Duration) -> Self {
+        LockManager {
+            state: Mutex::new(LockState::default()),
+            changed: Condvar::new(),
+            max_wait,
+        }
     }
 
     /// Acquires the write lock on `resource` for `tx`, blocking until the
@@ -77,9 +107,14 @@ impl LockManager {
     /// * [`Error::WriteConflict`] — the current holder committed while `tx`
     ///   was waiting (first-committer-wins), or `tx` has been
     ///   [wounded](LockManager::wound) by the middleware.
-    /// * [`Error::Deadlock`] — blocking would close a wait-for cycle; `tx` is
-    ///   chosen as the victim.
+    /// * [`Error::Deadlock`] — blocking would close a wait-for cycle (`tx` is
+    ///   chosen as the victim), or the wait exceeded the manager's bound and
+    ///   `tx` is presumed to be part of a cycle the engine-local wait-for
+    ///   graph cannot see.
     pub fn acquire(&self, tx: TxId, resource: &Resource) -> Result<()> {
+        // Established lazily on first block: acquiring a free lock — the hot
+        // path, taken once per written row — must not pay for a clock read.
+        let mut deadline = None;
         let mut state = self.state.lock();
         let mut enqueued = false;
         loop {
@@ -139,7 +174,22 @@ impl LockManager {
                     }
                 }
             }
-            self.changed.wait(&mut state);
+            let current_deadline =
+                *deadline.get_or_insert_with(|| Instant::now() + self.max_wait);
+            let timeout = current_deadline.saturating_duration_since(Instant::now());
+            if timeout.is_zero() {
+                // The wait bound elapsed and the loop above found neither a
+                // published decision nor a free lock: give up as a presumed
+                // deadlock victim (retryable by the client).  The abort is
+                // deliberately unconditional — a holder-turnover heuristic
+                // ("the queue is moving, keep waiting") reintroduces
+                // cluster-wide stalls here, because cross-component cycles
+                // (row lock ↔ ordered-announce chain) keep adjacent hot-row
+                // queues churning while the cycle itself never resolves.
+                self.cancel_wait(&mut state, tx, resource, enqueued);
+                return Err(Error::Deadlock { tx });
+            }
+            self.changed.wait_for(&mut state, timeout);
         }
     }
 
@@ -356,6 +406,24 @@ mod tests {
         lm.release_all(TxId(1), false);
         blocked.join().unwrap().unwrap();
         assert_eq!(lm.holder(&res(1)), Some(TxId(2)));
+    }
+
+    #[test]
+    fn blocked_acquire_times_out_as_presumed_deadlock() {
+        // Cycles that pass through non-lock resources (mutexes, thread
+        // joins, the ordered announce order) are invisible to the wait-for
+        // graph; the wait bound must convert them into retryable aborts.
+        let lm = LockManager::with_max_wait(Duration::from_millis(50));
+        lm.acquire(TxId(1), &res(1)).unwrap();
+        let start = std::time::Instant::now();
+        let result = lm.acquire(TxId(2), &res(1));
+        assert!(matches!(result, Err(Error::Deadlock { tx: TxId(2) })));
+        assert!(start.elapsed() >= Duration::from_millis(50));
+        // The timed-out waiter left the queue: when the holder later aborts,
+        // nobody inherits the lock.
+        lm.release_all(TxId(1), false);
+        assert_eq!(lm.held_locks(), 0);
+        assert!(!lm.has_waiters());
     }
 
     #[test]

@@ -122,7 +122,7 @@ impl VersionChain {
         debug_assert!(
             self.versions
                 .last()
-                .map_or(true, |v| v.created_at < version),
+                .is_none_or(|v| v.created_at < version),
             "row versions must be installed in increasing version order"
         );
         self.versions.push(RowVersion {

@@ -1,0 +1,19 @@
+//! Umbrella crate for the Tashkent reproduction.
+//!
+//! This package exists to host the repository-level integration tests
+//! (`tests/cluster_integration.rs`, `tests/smoke.rs`) and the runnable
+//! examples (`examples/*.rs`), and to offer a single convenience import for
+//! downstream experiments.  All functionality lives in the workspace crates:
+//!
+//! * [`tashkent`] (re-exported at the root here) — the public cluster API.
+//! * [`workloads`] — TPC-B-style generators and the closed-loop driver.
+//!
+//! Start from [`tashkent::Cluster`] and the `quickstart` example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tashkent;
+
+/// Workload generators and the multi-threaded closed-loop driver.
+pub use tashkent_workloads as workloads;

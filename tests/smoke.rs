@@ -1,0 +1,52 @@
+//! Smoke tests for the public entry points: every [`SystemKind`] must be
+//! able to build a cluster, commit one transaction through a session, and
+//! read it back on every replica after a sync.
+//!
+//! These run in milliseconds and exist so that a broken wiring of the
+//! workspace (crate graph, root `tests/` target, re-exports) fails loudly
+//! even before the heavier integration and property suites get a chance to.
+
+use tashkent::{Cluster, ClusterConfig, SystemKind, Value, Version};
+
+#[test]
+fn every_system_kind_commits_one_transaction() {
+    for system in SystemKind::ALL {
+        let cluster = Cluster::new(ClusterConfig::small(system))
+            .unwrap_or_else(|e| panic!("building {system} cluster: {e}"));
+        let table = cluster.create_table("accounts", &["balance"]);
+
+        let session = cluster.session(0);
+        let tx = session.begin();
+        tx.insert(table, 1, vec![("balance".into(), Value::Int(100))])
+            .unwrap_or_else(|e| panic!("insert on {system}: {e}"));
+        tx.commit()
+            .unwrap_or_else(|e| panic!("commit on {system}: {e}"));
+        assert_eq!(cluster.system_version(), Version(1), "system {system}");
+
+        // After a sync the committed row is visible through every replica.
+        cluster.sync_all().unwrap();
+        for replica in 0..cluster.replica_count() {
+            let tx = cluster.session(replica).begin();
+            let row = tx
+                .read(table, 1)
+                .unwrap_or_else(|e| panic!("read on {system} replica {replica}: {e}"))
+                .unwrap_or_else(|| panic!("row missing on {system} replica {replica}"));
+            assert_eq!(row.get("balance"), Some(&Value::Int(100)));
+            tx.commit().unwrap();
+        }
+    }
+}
+
+#[test]
+fn read_only_transactions_commit_without_certification() {
+    for system in SystemKind::ALL {
+        let cluster = Cluster::new(ClusterConfig::small(system)).unwrap();
+        let table = cluster.create_table("kv", &["v"]);
+        let tx = cluster.session(0).begin();
+        assert!(tx.read(table, 42).unwrap().is_none());
+        tx.commit()
+            .unwrap_or_else(|e| panic!("read-only commit on {system}: {e}"));
+        // A read-only commit must not advance the global commit order.
+        assert_eq!(cluster.system_version(), Version(0), "system {system}");
+    }
+}

@@ -1,0 +1,273 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the `bytes` API used by the Tashkent storage
+//! codecs: [`Bytes`] / [`BytesMut`] buffers plus the [`Buf`] / [`BufMut`]
+//! accessor traits, all big-endian like the real crate.  [`Bytes`] here is a
+//! plain owned vector with a read cursor rather than a refcounted slice —
+//! the zero-copy machinery of the real crate is not needed by this
+//! repository and is deliberately omitted.  Swap this path dependency for
+//! the crates.io package when network access is available.
+
+#![forbid(unsafe_code)]
+
+/// Read access to a byte cursor, big-endian.
+pub trait Buf {
+    /// Number of bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads the next `n` bytes, advancing the cursor.
+    fn copy_to_bytes(&mut self, n: usize) -> Vec<u8>;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize) {
+        let _ = self.copy_to_bytes(n);
+    }
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_to_bytes(1)[0]
+    }
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.copy_to_bytes(2).try_into().unwrap())
+    }
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.copy_to_bytes(4).try_into().unwrap())
+    }
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.copy_to_bytes(8).try_into().unwrap())
+    }
+    /// Reads a big-endian `i32`.
+    fn get_i32(&mut self) -> i32 {
+        i32::from_be_bytes(self.copy_to_bytes(4).try_into().unwrap())
+    }
+    /// Reads a big-endian `i64`.
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.copy_to_bytes(8).try_into().unwrap())
+    }
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.copy_to_bytes(8).try_into().unwrap())
+    }
+}
+
+/// Write access to a growable byte buffer, big-endian.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// An owned, immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { data: Vec::new(), pos: 0 }
+    }
+
+    /// Copies `src` into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Self { data: src.to_vec(), pos: 0 }
+    }
+
+    /// Creates a buffer from a static slice (copied here; the real crate
+    /// borrows it zero-copy).
+    #[must_use]
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Self::copy_from_slice(src)
+    }
+
+    /// Returns a new buffer over `range` of the unread bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds of the unread view.
+    #[must_use]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::copy_from_slice(&self.as_slice()[range])
+    }
+
+    /// Number of unread bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// `true` if every byte has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off the next `n` unread bytes into a new `Bytes`, advancing
+    /// this cursor past them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    #[must_use]
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let out = Bytes::copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        out
+    }
+
+    /// Copies the unread bytes into a fresh vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// The unread bytes as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Vec<u8> {
+        assert!(n <= self.len(), "buffer underflow");
+        let out = self.data[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        out
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Self::copy_from_slice(src)
+    }
+}
+
+/// A growable byte buffer for building encoded frames.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// An empty buffer with `capacity` bytes preallocated.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends raw bytes (alias of [`BufMut::put_slice`]).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Converts the written bytes into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// The written bytes as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Self {
+        buf.data
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros from the
+//! sibling `serde_derive` stub.  See that crate's documentation for why
+//! these exist.  No serialisation traits are defined because nothing in the
+//! repository takes `T: Serialize` bounds or calls serde entry points — the
+//! derives are forward-looking annotations only.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

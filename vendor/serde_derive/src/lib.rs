@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The air-gapped build cannot fetch the real `serde` / `serde_derive`, and
+//! nothing in the Tashkent reproduction actually serialises through serde
+//! yet — the `#[derive(Serialize, Deserialize)]` annotations exist so that
+//! the types are ready for a future wire format or JSON export.  These
+//! derives therefore accept the same syntax (including `#[serde(...)]`
+//! helper attributes) and expand to nothing.  When the real serde is
+//! restored as a dependency, the annotations become live without any source
+//! changes.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
