@@ -1,0 +1,176 @@
+//! Micro-benchmark: sharded certification throughput.
+//!
+//! Hammers the [`ShardedCertifier`] from several worker threads with
+//! pre-generated writeset traces and compares shard counts 1 / 2 / 4.  The
+//! single-shard configuration is decision-identical to the unsharded
+//! certifier (see `tests/sharded_equivalence.rs`), so `shards=1` doubles as
+//! the unsharded baseline; the acceptance bar for the sharding PR is that at
+//! least one sharded configuration certifies no slower than it.
+//!
+//! Requests carry a lagged start version, so every certification performs a
+//! real intersection scan over the recent log suffix — the work sharding
+//! parallelises.  Three traces:
+//!
+//! * **AllUpdates** — single-item writesets on disjoint keys: fully
+//!   partitionable, the scenario sharding is built for (every certify locks
+//!   one shard and scans only that shard's 1/N-size suffix).
+//! * **TPC-B** — 4-item writesets (account, teller, branch, history) with
+//!   hot branch/teller keys: most writesets span several shards, so they
+//!   pay the ordered two-phase certify — the stress case.
+//! * **TPC-W browsing** — the rare buy-confirm writesets of the browsing
+//!   mix: 4 items across 4 tables with a large key space, mostly
+//!   conflict-free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tashkent_certifier::{
+    CertificationRequest, ShardedCertifier, ShardedCertifierConfig,
+};
+use tashkent_common::{ReplicaId, TableId, Value, WriteItem, WriteSet};
+
+const WORKERS: usize = 4;
+const BATCH: u64 = 256;
+/// How far behind the system version each transaction's snapshot lags: the
+/// certifier intersects the writeset against this many recent log entries.
+/// Sized like a loaded cluster's in-flight window — deep enough that the
+/// scan is real work, shallow enough that (as in the paper's runs) commits
+/// dominate aborts.
+const START_LAG: u64 = 8;
+/// Deep-scan lag for the fully partitionable trace, where disjoint keys
+/// keep the abort rate at zero no matter how far back the scan reaches.
+const DEEP_LAG: u64 = 48;
+
+/// Deterministic xorshift so trace generation needs no RNG dependency here.
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u64) -> i64 {
+        (self.next() % bound) as i64
+    }
+}
+
+fn item(table: u32, key: i64) -> WriteItem {
+    WriteItem::update(TableId(table), key, vec![("balance".into(), Value::Int(key))])
+}
+
+/// AllUpdates-shaped writesets: one item each, disjoint keys per position so
+/// concurrent requests land on independent shards.
+fn allupdates_trace(len: usize) -> Vec<WriteSet> {
+    (0..len)
+        .map(|i| WriteSet::from_items(vec![item(0, i as i64)]))
+        .collect()
+}
+
+/// TPC-B-shaped writesets: account + teller + branch + history row.  The
+/// branch set is sized so the write-write abort rate stays in the paper's
+/// few-percent range at [`START_LAG`] (4 hot branches over an 8-deep scan
+/// would conflict on essentially every request and measure nothing but the
+/// abort fast-path).
+fn tpcb_trace(len: usize) -> Vec<WriteSet> {
+    let mut rng = Xorshift(0xB0B1);
+    (0..len)
+        .map(|i| {
+            let branch = rng.below(64);
+            WriteSet::from_items(vec![
+                item(2, branch * 1000 + rng.below(1000)),
+                item(1, branch * 10 + rng.below(10)),
+                item(0, branch),
+                item(3, i as i64),
+            ])
+        })
+        .collect()
+}
+
+/// TPC-W-browsing buy-confirm writesets: cart line, stock, order, customer.
+fn tpcw_browsing_trace(len: usize) -> Vec<WriteSet> {
+    let mut rng = Xorshift(0xB0B2);
+    (0..len)
+        .map(|i| {
+            WriteSet::from_items(vec![
+                item(0, i as i64),
+                item(1, rng.below(1000)),
+                item(2, i as i64),
+                item(3, rng.below(288)),
+            ])
+        })
+        .collect()
+}
+
+/// Certifies `BATCH` writesets from `trace` across `WORKERS` threads,
+/// returning the number that reached a decision.
+fn certify_batch(
+    certifier: &Arc<ShardedCertifier>,
+    trace: &Arc<Vec<WriteSet>>,
+    cursor: &AtomicUsize,
+    lag: u64,
+) -> u64 {
+    let per_worker = BATCH as usize / WORKERS;
+    let decided = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let certifier = Arc::clone(certifier);
+            let trace = Arc::clone(trace);
+            let cursor = &cursor;
+            let decided = &decided;
+            scope.spawn(move || {
+                for _ in 0..per_worker {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed) % trace.len();
+                    let version = certifier.system_version();
+                    let start = tashkent_common::Version(version.value().saturating_sub(lag));
+                    let request = CertificationRequest {
+                        replica: ReplicaId(worker as u32),
+                        start_version: start,
+                        writeset: trace[index].clone(),
+                        replica_version: version,
+                    };
+                    if certifier.certify(&request).is_ok() {
+                        decided.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    decided.load(Ordering::Relaxed) as u64
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_certification");
+    group.sample_size(12);
+    group.throughput(Throughput::Elements(BATCH));
+    for (trace_name, trace, lag) in [
+        ("allupdates", allupdates_trace(4096), DEEP_LAG),
+        ("tpcb", tpcb_trace(4096), START_LAG),
+        ("tpcw_browsing", tpcw_browsing_trace(4096), START_LAG),
+    ] {
+        let trace = Arc::new(trace);
+        for shards in [1usize, 2, 4] {
+            let certifier = Arc::new(ShardedCertifier::new(
+                ShardedCertifierConfig::with_shards(shards),
+            ));
+            let cursor = AtomicUsize::new(0);
+            group.bench_with_input(
+                BenchmarkId::new(trace_name, format!("shards={shards}")),
+                &shards,
+                |b, _| {
+                    b.iter(|| certify_batch(&certifier, &trace, &cursor, lag));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

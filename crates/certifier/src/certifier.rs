@@ -93,12 +93,16 @@ impl CertificationDecision {
 }
 
 /// A remote writeset returned to a replica.
+///
+/// The writeset is shared (`Arc`) with the certifier's log: responses to
+/// lagging replicas carry the whole unseen suffix, so handing out references
+/// instead of deep copies keeps certification off the allocator.
 #[derive(Debug, Clone)]
 pub struct RemoteWriteSet {
     /// The global version the writeset committed at.
     pub commit_version: Version,
     /// The writeset itself.
-    pub writeset: WriteSet,
+    pub writeset: std::sync::Arc<WriteSet>,
     /// The writeset is conflict-free against every writeset committed at
     /// versions in `(conflict_free_to, commit_version)`.  A Tashkent-API
     /// proxy may apply it concurrently with other pending writesets only if
@@ -187,7 +191,7 @@ impl Certifier {
         {
             let mut inner = certifier.inner.lock();
             for (version, writeset) in entries {
-                inner.log.append_at(*version, writeset.clone());
+                inner.log.append_at(*version, std::sync::Arc::new(writeset.clone()));
             }
         }
         for (version, writeset) in entries {
@@ -249,8 +253,7 @@ impl Certifier {
         // committing transaction's own writeset is appended.  Each is
         // additionally certified back to the replica's version so that a
         // Tashkent-API proxy can detect artificial conflicts.
-        let pending: Vec<(Version, WriteSet)> =
-            inner.log.entries_after(request.replica_version);
+        let pending = inner.log.entries_after(request.replica_version);
         let mut remote_writesets = Vec::with_capacity(pending.len());
         for (commit_version, writeset) in pending {
             let conflict_free_to = inner

@@ -28,6 +28,10 @@
 //! * [`paxos`] — the replicated durable log: leader, majority
 //!   acknowledgement, node crash / recovery / state transfer.
 //! * [`certifier`] — the [`certifier::Certifier`] façade used by proxies.
+//! * [`sharded`] — the [`sharded::ShardedCertifier`]: N independent
+//!   certification shards (each with its own replicated durable log) behind
+//!   a global commit-version sequencer, so intersection work scales beyond
+//!   one thread while replicas still see one totally-ordered stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +39,7 @@
 pub mod certifier;
 pub mod log;
 pub mod paxos;
+pub mod sharded;
 
 pub use certifier::{
     CertificationDecision, CertificationRequest, CertificationResponse, Certifier, CertifierConfig,
@@ -42,3 +47,7 @@ pub use certifier::{
 };
 pub use log::CertifierLog;
 pub use paxos::{CertifierNodeId, ReplicatedLog, ReplicatedLogStats};
+pub use sharded::{
+    merge_shard_streams, ShardStream, ShardedCertifier, ShardedCertifierConfig,
+    ShardedCertifierStats,
+};

@@ -14,18 +14,24 @@
 //! requests from different replicas do not repeat the intersection work.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use tashkent_common::{RowKey, TableId, Version, WriteSet};
 
 /// One entry of the certified log.
+///
+/// The writeset is reference-counted: the same entry is handed to every
+/// replica asking for remote writesets (and, under sharding, lives in every
+/// owning shard's log), so sharing beats deep-cloning on the hot path.
 #[derive(Debug, Clone)]
 pub struct LogEntry {
     /// Version created by this commit.
     pub commit_version: Version,
     /// The certified writeset.
-    pub writeset: WriteSet,
-    /// Cached footprint for fast intersection tests.
-    footprint: HashSet<(TableId, RowKey)>,
+    pub writeset: Arc<WriteSet>,
+    /// Cached footprint for fast intersection tests (shared, like the
+    /// writeset, across every owning shard's log under sharding).
+    footprint: Arc<HashSet<(TableId, RowKey)>>,
     /// The writeset is known conflict-free against every entry with a commit
     /// version strictly greater than this value (and smaller than its own).
     /// Initially the transaction's start version (normal certification
@@ -34,8 +40,8 @@ pub struct LogEntry {
 }
 
 impl LogEntry {
-    fn new(commit_version: Version, writeset: WriteSet, checked_down_to: Version) -> Self {
-        let footprint = writeset.footprint();
+    fn new(commit_version: Version, writeset: Arc<WriteSet>, checked_down_to: Version) -> Self {
+        let footprint = Arc::new(writeset.footprint());
         LogEntry {
             commit_version,
             writeset,
@@ -110,26 +116,53 @@ impl CertifierLog {
     /// bound.
     pub fn append(&mut self, writeset: WriteSet, start_version: Version) -> Version {
         let commit_version = self.system_version().next();
-        self.entries
-            .push(LogEntry::new(commit_version, writeset, start_version));
+        self.entries.push(LogEntry::new(
+            commit_version,
+            Arc::new(writeset),
+            start_version,
+        ));
         commit_version
     }
 
     /// Appends an entry with an explicit version (used by certifier recovery
-    /// and by backup nodes applying the leader's state).
-    pub fn append_at(&mut self, commit_version: Version, writeset: WriteSet) {
-        debug_assert!(commit_version > self.system_version());
+    /// and by backup nodes applying the leader's state).  The memoised
+    /// extended-certification bound starts at the entry's own version (no
+    /// certification work is known for recovered entries).
+    pub fn append_at(&mut self, commit_version: Version, writeset: Arc<WriteSet>) {
+        let footprint = Arc::new(writeset.footprint());
         let checked = commit_version.prev();
-        self.entries
-            .push(LogEntry::new(commit_version, writeset, checked));
+        self.append_at_with_footprint(commit_version, writeset, footprint, checked);
+    }
+
+    /// [`CertifierLog::append_at`] with a caller-computed footprint and
+    /// certification bound, for the sharded certifier: the writeset is
+    /// hashed once *outside* the global sequencer critical section and
+    /// shared across every owning shard's log, and `checked_down_to` seeds
+    /// the memoised extended-certification bound with the transaction's
+    /// start version (certification already proved the entry conflict-free
+    /// back to there), exactly like [`CertifierLog::append`].
+    pub fn append_at_with_footprint(
+        &mut self,
+        commit_version: Version,
+        writeset: Arc<WriteSet>,
+        footprint: Arc<HashSet<(TableId, RowKey)>>,
+        checked_down_to: Version,
+    ) {
+        debug_assert!(commit_version > self.system_version());
+        self.entries.push(LogEntry {
+            commit_version,
+            writeset,
+            footprint,
+            checked_down_to,
+        });
     }
 
     /// The entries committed after `since` (exclusive), i.e. the remote
     /// writesets a replica at version `since` has not seen yet.
     #[must_use]
-    pub fn entries_after(&self, since: Version) -> Vec<(Version, WriteSet)> {
+    pub fn entries_after(&self, since: Version) -> Vec<(Version, Arc<WriteSet>)> {
         self.suffix(since)
-            .map(|e| (e.commit_version, e.writeset.clone()))
+            .map(|e| (e.commit_version, Arc::clone(&e.writeset)))
             .collect()
     }
 
@@ -304,8 +337,8 @@ mod tests {
     #[test]
     fn append_at_and_truncate() {
         let mut log = CertifierLog::new();
-        log.append_at(Version(3), ws(0, &[1]));
-        log.append_at(Version(5), ws(0, &[2]));
+        log.append_at(Version(3), Arc::new(ws(0, &[1])));
+        log.append_at(Version(5), Arc::new(ws(0, &[2])));
         assert_eq!(log.system_version(), Version(5));
         assert_eq!(log.conflict_after(&ws(0, &[1]), Version::ZERO), Some(Version(3)));
         let removed = log.truncate_up_to(Version(3));

@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use tashkent_common::{Error, GroupCommitStats, Result, Version, WriteSet};
 use tashkent_storage::disk::{DiskConfig, LogDevice, SimulatedDisk};
 use tashkent_storage::wal::{WalRecord, WalWriter};
@@ -82,6 +82,13 @@ pub struct ReplicatedLog {
     entries: Mutex<u64>,
     durable: bool,
     disk_config: DiskConfig,
+    /// Serialises node recovery against in-flight appends: appends hold it
+    /// shared (they still run — and group-commit — concurrently), recovery
+    /// holds it exclusively.  Without it an append that observed the
+    /// recovering node as down could land on the donor *after* the state
+    /// transfer read the donor's log, leaving the recovered node permanently
+    /// missing that record.
+    membership: RwLock<()>,
 }
 
 impl std::fmt::Debug for ReplicatedLog {
@@ -110,6 +117,7 @@ impl ReplicatedLog {
             entries: Mutex::new(0),
             durable,
             disk_config,
+            membership: RwLock::new(()),
         }
     }
 
@@ -149,6 +157,7 @@ impl ReplicatedLog {
     /// Returns [`Error::Unavailable`] if fewer than a majority of nodes are
     /// up or acknowledge the append.
     pub fn append(&self, version: Version, writeset: &WriteSet) -> Result<()> {
+        let _membership = self.membership.read();
         let majority = self.majority();
         if self.up_count() < majority {
             return Err(Error::Unavailable(format!(
@@ -199,14 +208,24 @@ impl ReplicatedLog {
         }
     }
 
-    /// Recovers a crashed node: the missing log suffix is transferred from an
-    /// up node and made durable locally, then the node rejoins the group.
+    /// Recovers a crashed node: the records it is missing are transferred
+    /// from an up node and made durable locally, then the node rejoins the
+    /// group.
+    ///
+    /// The transfer compares logs by *record* (commit version), not by byte
+    /// length: concurrent appends reach different nodes' disks in slightly
+    /// different orders, so equal-length prefixes need not hold equal
+    /// content — a byte-suffix copy could duplicate records the node already
+    /// has while dropping the ones it missed.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Unavailable`] if no up node exists to transfer state
-    /// from, or [`Error::Protocol`] for an unknown node id.
+    /// from, [`Error::Corruption`] if either log fails to decode, or
+    /// [`Error::Protocol`] for an unknown node id.
     pub fn recover_node(&self, id: CertifierNodeId) -> Result<()> {
+        // Exclusive: no append may straddle the transfer (see `membership`).
+        let _membership = self.membership.write();
         let donor = self
             .nodes
             .iter()
@@ -217,11 +236,19 @@ impl ReplicatedLog {
             .iter()
             .find(|n| n.id == id)
             .ok_or_else(|| Error::Protocol(format!("unknown certifier node {id}")))?;
-        let donor_contents = donor.device.durable_contents();
-        let local_len = node.device.durable_len() as usize;
-        if donor_contents.len() > local_len {
-            let missing = &donor_contents[local_len..];
-            node.device.append(missing);
+        let have: std::collections::HashSet<Version> =
+            WalRecord::decode_all(&node.device.durable_contents())?
+                .iter()
+                .map(WalRecord::version)
+                .collect();
+        let mut transferred = false;
+        for record in WalRecord::decode_all(&donor.device.durable_contents())? {
+            if !have.contains(&record.version()) {
+                node.device.append(&record.encode());
+                transferred = true;
+            }
+        }
+        if transferred {
             node.device.fsync(1);
         }
         node.up.store(true, Ordering::SeqCst);

@@ -1,0 +1,885 @@
+//! The sharded certifier: certification partitioned across independent
+//! shards so writeset intersection scales beyond one thread.
+//!
+//! [`ShardedCertifier`] fronts N independent certification shards.  Each
+//! shard owns a slice of the row space (determined by the deterministic
+//! [`ShardMap`]), keeps its own in-memory [`CertifierLog`] of the committed
+//! writesets that touch its slice, and has its own majority-replicated
+//! durable log ([`ReplicatedLog`]) — the same Paxos-durability model as the
+//! unsharded [`Certifier`](crate::Certifier), instantiated once per shard.
+//! A *global sequencer* assigns cluster-wide commit versions so that every
+//! replica still applies one totally-ordered stream of writesets.
+//!
+//! # Certification protocol
+//!
+//! * **Single-shard writesets** (the common case) lock one shard, run the
+//!   intersection test against that shard's log only, and proceed
+//!   concurrently with certifications on every other shard.
+//! * **Multi-shard writesets** use an ordered two-phase certify: acquire all
+//!   owning shards in ascending shard-id order, decide, append, release.
+//!   The global acquisition order makes concurrent multi-shard
+//!   certifications deadlock-free, and holding every owning shard across
+//!   the decision makes the outcome equivalent to the unsharded certifier.
+//!
+//! Correctness hinges on one observation: a write-write conflict between two
+//! writesets is witnessed by a shared `(table, key)` pair, and that pair is
+//! owned by exactly one shard — a shard both writesets certify on.  Logging
+//! the **full** writeset on every owning shard therefore preserves every
+//! conflict (any intersection found on any shard is a real one, and every
+//! real one is found on the shared item's shard).
+//!
+//! # Version streams
+//!
+//! The sequencer's version counter is only advanced while the committing
+//! transaction holds both its shard locks and the sequencer lock, so a
+//! reader that samples `system_version` *first* and the per-shard streams
+//! *afterwards* observes every commit at or below the sampled version —
+//! [`merge_shard_streams`] exploits this to reassemble a gap-free global
+//! stream from per-shard streams (the proxy-side fan-in).
+
+use parking_lot::{Mutex, MutexGuard};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tashkent_common::{Error, Result, ShardId, ShardMap, Version, WriteSet};
+
+use crate::certifier::{
+    CertificationDecision, CertificationRequest, CertificationResponse, CertifierConfig,
+    CertifierStats, RemoteWriteSet,
+};
+use crate::log::CertifierLog;
+use crate::paxos::{CertifierNodeId, ReplicatedLog, ReplicatedLogStats};
+
+/// Configuration of the sharded certifier.
+#[derive(Debug, Clone)]
+pub struct ShardedCertifierConfig {
+    /// Number of certification shards.
+    pub shards: usize,
+    /// Per-shard configuration: each shard gets its own `base.nodes`-node
+    /// replicated durable log with `base.disk` disks.  The forced-abort rate
+    /// and seed apply globally (one draw per certification, exactly like the
+    /// unsharded certifier).
+    pub base: CertifierConfig,
+}
+
+impl ShardedCertifierConfig {
+    /// A sharded configuration with `shards` shards and defaults otherwise.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedCertifierConfig {
+            shards,
+            base: CertifierConfig::default(),
+        }
+    }
+}
+
+/// One shard's slice of the certifier state.
+struct Shard {
+    /// In-memory certified-writeset log restricted to this shard's rows
+    /// (full writesets are stored; see the module docs for why that is both
+    /// sound and complete).
+    log: Mutex<CertifierLog>,
+    /// This shard's majority-replicated durable log.
+    replicated: ReplicatedLog,
+}
+
+/// The global sequencer: version counter, forced-abort randomness and
+/// request counters.
+struct Sequencer {
+    version: Version,
+    rng: StdRng,
+    requests: u64,
+    commits: u64,
+    conflict_aborts: u64,
+    forced_aborts: u64,
+    multi_shard_commits: u64,
+}
+
+/// Counters exposed by [`ShardedCertifier::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardedCertifierStats {
+    /// Certification requests processed.
+    pub requests: u64,
+    /// Requests that committed.
+    pub commits: u64,
+    /// Requests aborted because of a real write-write conflict.
+    pub conflict_aborts: u64,
+    /// Requests aborted by the forced-abort experiment.
+    pub forced_aborts: u64,
+    /// Commits whose writeset spanned more than one shard (these paid the
+    /// ordered two-phase certify).
+    pub multi_shard_commits: u64,
+    /// Per-shard state of the replicated durable logs.
+    pub shards: Vec<ReplicatedLogStats>,
+}
+
+impl ShardedCertifierStats {
+    /// Collapses the sharded statistics into the unsharded
+    /// [`CertifierStats`] shape (log counters summed across shards, group
+    /// commit merged), for callers that render both the same way.
+    #[must_use]
+    pub fn aggregate(&self) -> CertifierStats {
+        let mut log = ReplicatedLogStats::default();
+        for shard in &self.shards {
+            log.entries += shard.entries;
+            log.leader_fsyncs += shard.leader_fsyncs;
+            log.leader_log_bytes += shard.leader_log_bytes;
+            log.leader_group_commit.merge(&shard.leader_group_commit);
+            log.nodes_up += shard.nodes_up;
+            log.nodes_total += shard.nodes_total;
+        }
+        CertifierStats {
+            requests: self.requests,
+            commits: self.commits,
+            conflict_aborts: self.conflict_aborts,
+            forced_aborts: self.forced_aborts,
+            log,
+        }
+    }
+}
+
+/// One shard's slice of the global version stream, as returned by
+/// [`ShardedCertifier::shard_streams_after`].
+#[derive(Debug, Clone)]
+pub struct ShardStream {
+    /// The shard the entries come from.
+    pub shard: ShardId,
+    /// The shard's entries after the requested version, ascending.  A
+    /// multi-shard writeset appears in the stream of every owning shard
+    /// (with possibly different per-shard `conflict_free_to` bounds).
+    pub entries: Vec<RemoteWriteSet>,
+}
+
+/// Merges per-shard version streams into one gap-free global stream.
+///
+/// Entries are merged by ascending commit version; a multi-shard writeset
+/// present in several streams is emitted once, with the **newest** (maximum)
+/// of its per-shard `conflict_free_to` bounds — each shard only checked the
+/// entries it owns, so the global bound is the max over shards.  Entries
+/// above `up_to` are dropped: only versions at or below the sampled system
+/// version are guaranteed to have reached every owning shard's stream.
+///
+/// This is the proxy-side *fan-in*: above this merge the proxy's serial and
+/// concurrent apply pipelines are unchanged from the unsharded system.
+#[must_use]
+pub fn merge_shard_streams(streams: &[ShardStream], up_to: Version) -> Vec<RemoteWriteSet> {
+    let mut cursors: Vec<std::slice::Iter<'_, RemoteWriteSet>> =
+        streams.iter().map(|s| s.entries.iter()).collect();
+    let mut heads: Vec<Option<&RemoteWriteSet>> =
+        cursors.iter_mut().map(Iterator::next).collect();
+    let mut merged = Vec::new();
+    while let Some(version) = heads.iter().flatten().map(|r| r.commit_version).min() {
+        if version > up_to {
+            break;
+        }
+        let mut next: Option<RemoteWriteSet> = None;
+        for (head, cursor) in heads.iter_mut().zip(cursors.iter_mut()) {
+            if head.map(|r| r.commit_version) != Some(version) {
+                continue;
+            }
+            let entry = head.expect("checked above");
+            match &mut next {
+                None => next = Some(entry.clone()),
+                Some(merged_entry) => {
+                    merged_entry.conflict_free_to =
+                        merged_entry.conflict_free_to.max(entry.conflict_free_to);
+                }
+            }
+            *head = cursor.next();
+        }
+        merged.push(next.expect("at least one stream held this version"));
+    }
+    merged
+}
+
+/// The sharded certifier component shared by every replica proxy.
+pub struct ShardedCertifier {
+    map: ShardMap,
+    shards: Vec<Shard>,
+    sequencer: Mutex<Sequencer>,
+    forced_abort_rate: f64,
+}
+
+impl std::fmt::Debug for ShardedCertifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCertifier")
+            .field("shards", &self.shards.len())
+            .field("system_version", &self.system_version())
+            .finish()
+    }
+}
+
+impl ShardedCertifier {
+    /// Creates a sharded certifier group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard count fails [`ShardMap::validate`]; build the
+    /// configuration through a validated [`tashkent_common::ClusterConfig`]
+    /// to surface the problem as an error instead.
+    #[must_use]
+    pub fn new(config: ShardedCertifierConfig) -> Self {
+        let map = ShardMap::new(config.shards);
+        map.validate().expect("invalid shard count");
+        let shards = (0..config.shards)
+            .map(|_| Shard {
+                log: Mutex::new(CertifierLog::new()),
+                replicated: ReplicatedLog::new(
+                    config.base.nodes,
+                    config.base.disk.clone(),
+                    config.base.durable,
+                ),
+            })
+            .collect();
+        ShardedCertifier {
+            map,
+            shards,
+            sequencer: Mutex::new(Sequencer {
+                version: Version::ZERO,
+                rng: StdRng::seed_from_u64(config.base.seed),
+                requests: 0,
+                commits: 0,
+                conflict_aborts: 0,
+                forced_aborts: 0,
+                multi_shard_commits: 0,
+            }),
+            forced_abort_rate: config.base.forced_abort_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The shard map replicas should use to route and partition work.
+    #[must_use]
+    pub fn shard_map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// Number of certification shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global system version (number of committed update transactions).
+    #[must_use]
+    pub fn system_version(&self) -> Version {
+        self.sequencer.lock().version
+    }
+
+    /// `true` if every shard's replicated group has a majority up.
+    ///
+    /// A single down shard stalls any certification touching it *and* the
+    /// replicas' refresh stream (the merge cannot prove a gap-free prefix
+    /// without that shard), so availability is all-shards.
+    #[must_use]
+    pub fn is_available(&self) -> bool {
+        self.shards.iter().all(|s| s.replicated.is_available())
+    }
+
+    /// The current leader node of one shard's replicated group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard_leader(&self, shard: ShardId) -> CertifierNodeId {
+        self.shards[shard.index()].replicated.leader()
+    }
+
+    /// Crashes one node of one shard's replicated group (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn crash_shard_node(&self, shard: ShardId, node: CertifierNodeId) {
+        self.shards[shard.index()].replicated.crash_node(node);
+    }
+
+    /// Recovers a crashed node of one shard's group via state transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unavailable`] if no up node of the shard can donate
+    /// its log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn recover_shard_node(&self, shard: ShardId, node: CertifierNodeId) -> Result<()> {
+        self.shards[shard.index()].replicated.recover_node(node)
+    }
+
+    /// Crashes certifier node `node` on **every** shard's group — the model
+    /// of one physical certifier machine (hosting one member of each shard
+    /// group) going down.
+    pub fn crash_node(&self, node: CertifierNodeId) {
+        for shard in &self.shards {
+            shard.replicated.crash_node(node);
+        }
+    }
+
+    /// Recovers certifier node `node` on every shard's group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unavailable`] if any shard has no donor node up.
+    pub fn recover_node(&self, node: CertifierNodeId) -> Result<()> {
+        for shard in &self.shards {
+            shard.replicated.recover_node(node)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the durable log of one node of one shard's group (recovery
+    /// tooling and the crash-fault tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors and unknown-node errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_durable_entries(
+        &self,
+        shard: ShardId,
+        node: CertifierNodeId,
+    ) -> Result<Vec<(Version, WriteSet)>> {
+        self.shards[shard.index()].replicated.durable_entries(node)
+    }
+
+    /// The shards owning `writeset`, falling back to shard 0 for an empty
+    /// writeset so that even degenerate requests have a deterministic home
+    /// (the unsharded certifier also accepts and versions empty writesets).
+    fn owning_shards(&self, writeset: &WriteSet) -> Vec<ShardId> {
+        let shards = self.map.shards_of(writeset);
+        if shards.is_empty() {
+            vec![ShardId(0)]
+        } else {
+            shards
+        }
+    }
+
+    /// Certifies an update transaction.
+    ///
+    /// Semantics are identical to [`Certifier::certify`](crate::Certifier):
+    /// same request / response types, same decision rule, same global
+    /// version order — with `shards == 1` the two are decision-for-decision
+    /// interchangeable (the equivalence test in
+    /// `tests/sharded_equivalence.rs` pins this down).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unavailable`] if any owning shard has lost its
+    /// majority; certification *decisions* (including aborts) are reported
+    /// in the response, not as errors.
+    pub fn certify(&self, request: &CertificationRequest) -> Result<CertificationResponse> {
+        let owning = self.owning_shards(&request.writeset);
+        for shard in &owning {
+            if !self.shards[shard.index()].replicated.is_available() {
+                return Err(Error::Unavailable(format!(
+                    "certifier {shard} majority not available"
+                )));
+            }
+        }
+
+        // Phase 1 (acquire): lock every owning shard in ascending shard-id
+        // order.  `ShardMap::shards_of` returns them sorted, which is the
+        // global acquisition order that keeps concurrent multi-shard
+        // certifications deadlock-free.
+        let mut guards: Vec<MutexGuard<'_, CertifierLog>> = owning
+            .iter()
+            .map(|s| self.shards[s.index()].log.lock())
+            .collect();
+
+        // Intersection test against every owning shard's log suffix.  The
+        // oldest conflicting version across shards matches the unsharded
+        // certifier's forward scan.
+        let conflict = guards
+            .iter()
+            .filter_map(|log| log.conflict_after(&request.writeset, request.start_version))
+            .min();
+
+        // Prepare the (probable) commit's log entry — writeset clone and
+        // footprint hashing — *before* the global sequencer lock, so the
+        // cluster-wide serialization point stays as short as version
+        // assignment plus per-shard Vec pushes.  Wasted only on forced
+        // aborts, which are an experiment knob.
+        let commit_material = if conflict.is_none() {
+            let writeset = std::sync::Arc::new(request.writeset.clone());
+            let footprint = std::sync::Arc::new(writeset.footprint());
+            Some((writeset, footprint))
+        } else {
+            None
+        };
+
+        // Decide under the sequencer lock (never acquire a shard lock while
+        // holding it — the sequencer is the innermost lock).
+        let mut sequencer = self.sequencer.lock();
+        sequencer.requests += 1;
+        let decision = if let Some(conflict_version) = conflict {
+            sequencer.conflict_aborts += 1;
+            Some(CertificationDecision::Abort {
+                reason: format!("write-write conflict with {conflict_version}"),
+                forced: false,
+            })
+        } else if self.forced_abort_rate > 0.0
+            && sequencer.rng.gen::<f64>() < self.forced_abort_rate
+        {
+            sequencer.forced_aborts += 1;
+            Some(CertificationDecision::Abort {
+                reason: "forced abort (experiment)".into(),
+                forced: true,
+            })
+        } else {
+            None
+        };
+        if let Some(decision) = decision {
+            let system_version = sequencer.version;
+            drop(sequencer);
+            drop(guards);
+            return Ok(CertificationResponse {
+                decision,
+                commit_version: None,
+                remote_writesets: self
+                    .remote_writesets_between(request.replica_version, system_version),
+                system_version,
+            });
+        }
+
+        // Commit: assign the next global version and append the full
+        // writeset to every owning shard's log.  The version advance and the
+        // appends happen inside one sequencer critical section while the
+        // shard guards are held — the invariant the stream merge relies on.
+        let commit_version = sequencer.version.next();
+        sequencer.version = commit_version;
+        sequencer.commits += 1;
+        if owning.len() > 1 {
+            sequencer.multi_shard_commits += 1;
+        }
+        let (writeset, footprint) = commit_material.expect("commit implies no conflict");
+        for log in &mut guards {
+            log.append_at_with_footprint(
+                commit_version,
+                std::sync::Arc::clone(&writeset),
+                std::sync::Arc::clone(&footprint),
+                request.start_version,
+            );
+        }
+        let system_version = commit_version;
+        drop(sequencer);
+        drop(guards);
+
+        // Make the decision durable before announcing it — on the writeset's
+        // *home shard* (its lowest owning shard id) only.  One majority fsync
+        // per commit, exactly like the unsharded certifier; what sharding
+        // adds is that different home shards group-commit on independent
+        // disks.  Every commit is durable in exactly one shard group's
+        // majority, so the union of the shard groups' durable logs is the
+        // full certified history (re-partitioned through the shard map when
+        // in-memory shard logs must be rebuilt).
+        let home = owning[0];
+        self.shards[home.index()]
+            .replicated
+            .append(commit_version, &request.writeset)?;
+
+        Ok(CertificationResponse {
+            decision: CertificationDecision::Commit,
+            commit_version: Some(commit_version),
+            // Bounded at the version *below* the transaction's own commit —
+            // exactly the unsharded certifier's gather-before-append window.
+            // The bound must NOT be re-sampled here: a commit that lands
+            // after ours would enter the stream while our own version is
+            // excluded, and a proxy applying that stream would advance past
+            // its own commit without ever applying it (the certifier never
+            // resends versions at or below a replica's reported version).
+            remote_writesets: self
+                .remote_writesets_between(request.replica_version, commit_version.prev()),
+            system_version,
+        })
+    }
+
+    /// Per-shard version streams after `since` (exclusive): the fan-out half
+    /// of update propagation.  Pair with [`merge_shard_streams`] bounded by
+    /// a [`ShardedCertifier::system_version`] sampled **before** this call.
+    #[must_use]
+    pub fn shard_streams_after(&self, since: Version) -> Vec<ShardStream> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                let mut log = shard.log.lock();
+                let entries = log
+                    .entries_after(since)
+                    .into_iter()
+                    .map(|(commit_version, writeset)| {
+                        let conflict_free_to = log.conflict_free_back_to(commit_version, since);
+                        RemoteWriteSet {
+                            commit_version,
+                            writeset,
+                            conflict_free_to,
+                        }
+                    })
+                    .collect();
+                ShardStream {
+                    shard: ShardId(index as u32),
+                    entries,
+                }
+            })
+            .collect()
+    }
+
+    /// The merged global stream of remote writesets after `since`, exactly
+    /// like [`Certifier::writesets_after`](crate::Certifier) — used by
+    /// refresh, recovery and the equivalence tests.
+    #[must_use]
+    pub fn writesets_after(&self, since: Version) -> Vec<RemoteWriteSet> {
+        // Sample the bound BEFORE the streams: every commit at or below it
+        // has finished its shard appends (they happened inside the sequencer
+        // critical section that advanced the version).
+        let up_to = self.sequencer.lock().version;
+        self.remote_writesets_between(since, up_to)
+    }
+
+    /// Merges the shard streams over `(since, up_to]`.  `up_to` must be a
+    /// version whose shard appends are known complete relative to this call
+    /// — a system version the caller sampled under the sequencer lock (or
+    /// one version below the caller's own just-appended commit).
+    fn remote_writesets_between(&self, since: Version, up_to: Version) -> Vec<RemoteWriteSet> {
+        if since >= up_to {
+            // The requester is current: skip the all-shard fan-out on the
+            // hot path.
+            return Vec::new();
+        }
+        let streams = self.shard_streams_after(since);
+        merge_shard_streams(&streams, up_to)
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> ShardedCertifierStats {
+        let sequencer = self.sequencer.lock();
+        ShardedCertifierStats {
+            requests: sequencer.requests,
+            commits: sequencer.commits,
+            conflict_aborts: sequencer.conflict_aborts,
+            forced_aborts: sequencer.forced_aborts,
+            multi_shard_commits: sequencer.multi_shard_commits,
+            shards: self.shards.iter().map(|s| s.replicated.stats()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tashkent_common::{ReplicaId, TableId, Value, WriteItem};
+
+    use super::*;
+
+    fn ws(keys: &[i64]) -> WriteSet {
+        WriteSet::from_items(
+            keys.iter()
+                .map(|&k| WriteItem::update(TableId(0), k, vec![("x".into(), Value::Int(k))]))
+                .collect(),
+        )
+    }
+
+    fn request(start: u64, replica_version: u64, keys: &[i64]) -> CertificationRequest {
+        CertificationRequest {
+            replica: ReplicaId(0),
+            start_version: Version(start),
+            writeset: ws(keys),
+            replica_version: Version(replica_version),
+        }
+    }
+
+    fn sharded(shards: usize) -> ShardedCertifier {
+        ShardedCertifier::new(ShardedCertifierConfig::with_shards(shards))
+    }
+
+    #[test]
+    fn versions_are_globally_dense_across_shards() {
+        let certifier = sharded(4);
+        for k in 1..=20 {
+            let response = certifier.certify(&request(k - 1, k - 1, &[k as i64])).unwrap();
+            assert!(response.decision.is_commit());
+            assert_eq!(response.commit_version, Some(Version(k)));
+        }
+        assert_eq!(certifier.system_version(), Version(20));
+        let versions: Vec<u64> = certifier
+            .writesets_after(Version::ZERO)
+            .iter()
+            .map(|r| r.commit_version.value())
+            .collect();
+        assert_eq!(versions, (1..=20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn conflicts_are_found_across_shard_boundaries() {
+        let certifier = sharded(4);
+        // A multi-shard writeset commits, then every single-key probe that
+        // shares a key with it (on whatever shard) must abort.
+        let keys = [1i64, 2, 3, 4, 5, 6, 7, 8];
+        assert!(certifier
+            .certify(&request(0, 0, &keys))
+            .unwrap()
+            .decision
+            .is_commit());
+        for &k in &keys {
+            let response = certifier.certify(&request(0, 1, &[k])).unwrap();
+            assert!(!response.decision.is_commit(), "key {k} must conflict");
+        }
+        // Disjoint keys commit, and a probe starting after the commit is
+        // clean.
+        assert!(certifier
+            .certify(&request(0, 1, &[100]))
+            .unwrap()
+            .decision
+            .is_commit());
+        assert!(certifier
+            .certify(&request(1, 2, &[1]))
+            .unwrap()
+            .decision
+            .is_commit());
+        let stats = certifier.stats();
+        assert_eq!(stats.conflict_aborts, keys.len() as u64);
+        assert_eq!(stats.commits, 3);
+        assert!(stats.multi_shard_commits >= 1);
+    }
+
+    #[test]
+    fn remote_streams_merge_without_gaps_or_duplicates() {
+        let certifier = sharded(3);
+        // Mix of single- and multi-shard writesets.
+        certifier.certify(&request(0, 0, &[1])).unwrap();
+        certifier.certify(&request(1, 1, &[2, 3, 4, 5])).unwrap();
+        certifier.certify(&request(2, 2, &[6])).unwrap();
+        certifier.certify(&request(3, 3, &[7, 8, 9, 10, 11])).unwrap();
+        let remotes = certifier.writesets_after(Version(0));
+        let versions: Vec<u64> = remotes.iter().map(|r| r.commit_version.value()).collect();
+        assert_eq!(versions, vec![1, 2, 3, 4]);
+        // A replica at version 2 sees exactly 3 and 4.
+        let versions: Vec<u64> = certifier
+            .writesets_after(Version(2))
+            .iter()
+            .map(|r| r.commit_version.value())
+            .collect();
+        assert_eq!(versions, vec![3, 4]);
+    }
+
+    #[test]
+    fn extended_certification_takes_the_newest_bound_across_shards() {
+        let certifier = sharded(2);
+        // Find two keys on different shards of a 2-shard map.
+        let map = certifier.shard_map();
+        let key_a = 0i64; // whatever shard this lands on...
+        let key_b = (1..100)
+            .find(|&k| {
+                map.shard_of(TableId(0), &tashkent_common::RowKey::Int(k))
+                    != map.shard_of(TableId(0), &tashkent_common::RowKey::Int(key_a))
+            })
+            .expect("some key lands on the other shard");
+        // v1 writes {a}; v2 writes {b}; v3 writes {a, b} starting at v2.
+        certifier.certify(&request(0, 0, &[key_a])).unwrap();
+        certifier.certify(&request(1, 1, &[key_b])).unwrap();
+        certifier.certify(&request(2, 2, &[key_a, key_b])).unwrap();
+        // v3 conflicts with v1 (shard A) and v2 (shard B) when pushed back
+        // towards version 0; the merged bound is the newest conflict, v2.
+        let remotes = certifier.writesets_after(Version::ZERO);
+        let v3 = remotes
+            .iter()
+            .find(|r| r.commit_version == Version(3))
+            .unwrap();
+        assert_eq!(v3.conflict_free_to, Version(2));
+    }
+
+    #[test]
+    fn forced_aborts_follow_the_configured_rate() {
+        let certifier = ShardedCertifier::new(ShardedCertifierConfig {
+            shards: 4,
+            base: CertifierConfig {
+                forced_abort_rate: 0.4,
+                ..CertifierConfig::default()
+            },
+        });
+        let mut aborted: u64 = 0;
+        for i in 0..500 {
+            let version = certifier.system_version().value();
+            let response = certifier.certify(&request(version, version, &[i])).unwrap();
+            if !response.decision.is_commit() {
+                aborted += 1;
+            }
+        }
+        let rate = aborted as f64 / 500.0;
+        assert!((rate - 0.4).abs() < 0.08, "observed forced abort rate {rate}");
+        let stats = certifier.stats();
+        assert_eq!(stats.forced_aborts, aborted);
+        assert_eq!(stats.conflict_aborts, 0);
+    }
+
+    #[test]
+    fn shard_crash_blocks_only_that_shard_until_majority_restored() {
+        let certifier = sharded(2);
+        let map = certifier.shard_map();
+        let shard_of = |k: i64| map.shard_of(TableId(0), &tashkent_common::RowKey::Int(k));
+        let key_on = |shard: ShardId| (0..1000).find(|&k| shard_of(k) == shard).unwrap();
+        let (k0, k1) = (key_on(ShardId(0)), key_on(ShardId(1)));
+
+        // Lose shard 1's majority (two of three nodes).
+        certifier.crash_shard_node(ShardId(1), CertifierNodeId(0));
+        certifier.crash_shard_node(ShardId(1), CertifierNodeId(1));
+        assert!(!certifier.is_available());
+        // Shard 0 keeps certifying; shard 1 refuses.
+        let version = certifier.system_version().value();
+        assert!(certifier
+            .certify(&request(version, version, &[k0]))
+            .unwrap()
+            .decision
+            .is_commit());
+        let version = certifier.system_version().value();
+        assert!(matches!(
+            certifier.certify(&request(version, version, &[k1])),
+            Err(Error::Unavailable(_))
+        ));
+        // Restoring one node restores the majority and progress.
+        certifier
+            .recover_shard_node(ShardId(1), CertifierNodeId(0))
+            .unwrap();
+        assert!(certifier.is_available());
+        let version = certifier.system_version().value();
+        assert!(certifier
+            .certify(&request(version, version, &[k1]))
+            .unwrap()
+            .decision
+            .is_commit());
+    }
+
+    #[test]
+    fn node_crash_spans_every_shard_group() {
+        let certifier = sharded(3);
+        certifier.crash_node(CertifierNodeId(0));
+        assert!(certifier.is_available());
+        let stats = certifier.stats();
+        assert!(stats.shards.iter().all(|s| s.nodes_up == 2));
+        certifier.recover_node(CertifierNodeId(0)).unwrap();
+        assert!(certifier.stats().shards.iter().all(|s| s.nodes_up == 3));
+    }
+
+    #[test]
+    fn durable_entries_cover_each_shards_commits() {
+        let certifier = sharded(2);
+        for k in 1..=12 {
+            let version = certifier.system_version().value();
+            certifier.certify(&request(version, version, &[k])).unwrap();
+        }
+        let stats = certifier.stats();
+        let logged: u64 = stats.shards.iter().map(|s| s.entries).sum();
+        assert_eq!(logged, 12);
+        for shard in [ShardId(0), ShardId(1)] {
+            let leader = certifier.shard_leader(shard);
+            let entries = certifier.shard_durable_entries(shard, leader).unwrap();
+            // Versions strictly increase within a shard's durable log.
+            assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn merge_bounds_by_the_sampled_version() {
+        let streams = vec![
+            ShardStream {
+                shard: ShardId(0),
+                entries: vec![
+                    RemoteWriteSet {
+                        commit_version: Version(1),
+                        writeset: std::sync::Arc::new(ws(&[1])),
+                        conflict_free_to: Version::ZERO,
+                    },
+                    RemoteWriteSet {
+                        commit_version: Version(3),
+                        writeset: std::sync::Arc::new(ws(&[3])),
+                        conflict_free_to: Version(1),
+                    },
+                ],
+            },
+            ShardStream {
+                shard: ShardId(1),
+                entries: vec![
+                    RemoteWriteSet {
+                        commit_version: Version(2),
+                        writeset: std::sync::Arc::new(ws(&[2])),
+                        conflict_free_to: Version::ZERO,
+                    },
+                    RemoteWriteSet {
+                        commit_version: Version(3),
+                        writeset: std::sync::Arc::new(ws(&[3])),
+                        conflict_free_to: Version(2),
+                    },
+                ],
+            },
+        ];
+        let merged = merge_shard_streams(&streams, Version(3));
+        let versions: Vec<u64> = merged.iter().map(|r| r.commit_version.value()).collect();
+        assert_eq!(versions, vec![1, 2, 3]);
+        // The duplicate at v3 is emitted once, with the max bound.
+        assert_eq!(merged[2].conflict_free_to, Version(2));
+        // Bounding below the duplicate drops it from every stream.
+        let merged = merge_shard_streams(&streams, Version(2));
+        let versions: Vec<u64> = merged.iter().map(|r| r.commit_version.value()).collect();
+        assert_eq!(versions, vec![1, 2]);
+    }
+
+    #[test]
+    fn concurrent_commit_responses_cover_exactly_the_unseen_prefix() {
+        // Regression: the commit response's remote stream must be bounded by
+        // the transaction's own commit version as of *decision time*.  If
+        // the bound were re-sampled after the locks drop, a racing commit
+        // could slip into the stream while the requester's own version is
+        // excluded — and a proxy applying that stream would advance past its
+        // own commit without applying it.
+        let certifier = std::sync::Arc::new(sharded(4));
+        std::thread::scope(|scope| {
+            for worker in 0..4i64 {
+                let certifier = std::sync::Arc::clone(&certifier);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let replica_version = certifier.system_version();
+                        let response = certifier
+                            .certify(&CertificationRequest {
+                                replica: ReplicaId(worker as u32),
+                                start_version: replica_version,
+                                writeset: ws(&[worker * 1_000_000 + i]),
+                                replica_version,
+                            })
+                            .unwrap();
+                        let own = response.commit_version.expect("disjoint keys commit");
+                        let versions: Vec<u64> = response
+                            .remote_writesets
+                            .iter()
+                            .map(|r| r.commit_version.value())
+                            .collect();
+                        // Exactly the dense range (replica_version, own):
+                        // nothing missing, nothing at or above our own
+                        // commit.
+                        let expected: Vec<u64> =
+                            (replica_version.value() + 1..own.value()).collect();
+                        assert_eq!(versions, expected, "worker {worker} iteration {i}");
+                    }
+                });
+            }
+        });
+        assert_eq!(certifier.stats().commits, 800);
+    }
+
+    #[test]
+    fn empty_writesets_take_the_shard_zero_path() {
+        let certifier = sharded(4);
+        let response = certifier
+            .certify(&CertificationRequest {
+                replica: ReplicaId(0),
+                start_version: Version::ZERO,
+                writeset: WriteSet::new(),
+                replica_version: Version::ZERO,
+            })
+            .unwrap();
+        assert!(response.decision.is_commit());
+        assert_eq!(response.commit_version, Some(Version(1)));
+    }
+}

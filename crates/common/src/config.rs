@@ -211,6 +211,10 @@ pub struct ClusterConfig {
     pub replicas: usize,
     /// Number of certifier nodes (the paper uses a leader plus two backups).
     pub certifiers: usize,
+    /// Number of certifier shards the row space is partitioned across
+    /// (`1` reproduces the paper's single certifier; each shard is its own
+    /// `certifiers`-node replicated group).  See [`crate::ShardMap`].
+    pub certifier_shards: usize,
     /// Closed-loop clients attached to each replica.
     pub clients_per_replica: usize,
     /// IO channel layout at the replicas.
@@ -237,6 +241,7 @@ impl ClusterConfig {
             system,
             replicas: 2,
             certifiers: 3,
+            certifier_shards: 1,
             clients_per_replica: 2,
             io_mode: IoChannelMode::Dedicated,
             service_times: ServiceTimes {
@@ -261,6 +266,7 @@ impl ClusterConfig {
             system,
             replicas,
             certifiers: 3,
+            certifier_shards: 1,
             clients_per_replica: 10,
             io_mode,
             service_times: ServiceTimes::default(),
@@ -285,6 +291,7 @@ impl ClusterConfig {
         if self.certifiers == 0 {
             return Err("a cluster needs at least one certifier".to_owned());
         }
+        crate::ShardMap::new(self.certifier_shards).validate()?;
         if self.clients_per_replica == 0 {
             return Err("each replica needs at least one client".to_owned());
         }
@@ -376,6 +383,11 @@ mod tests {
         cfg.certifiers = 3;
         cfg.clients_per_replica = 0;
         assert!(cfg.validate().is_err());
+        cfg.clients_per_replica = 2;
+        cfg.certifier_shards = 0;
+        assert!(cfg.validate().is_err());
+        cfg.certifier_shards = 4;
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

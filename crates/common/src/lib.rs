@@ -14,6 +14,8 @@
 //! * [`config`] — the replication system variants (`Base`, `Tashkent-MW`,
 //!   `Tashkent-API`), WAL synchronisation modes, IO-channel layouts and
 //!   whole-cluster configuration.
+//! * [`shard`] — the deterministic key→shard map of the sharded certification
+//!   subsystem.
 //! * [`error`] — the common error type.
 //! * [`stats`] — latency histograms, counters and throughput meters used by
 //!   the benchmark harness and by the examples.
@@ -29,6 +31,7 @@
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod shard;
 pub mod stats;
 pub mod value;
 pub mod writeset;
@@ -36,6 +39,7 @@ pub mod writeset;
 pub use config::{ClusterConfig, IoChannelMode, SyncMode, SystemKind};
 pub use error::{Error, Result};
 pub use ids::{ClientId, ReplicaId, TxId, Version};
+pub use shard::{ShardId, ShardMap, MAX_SHARDS};
 pub use value::Value;
 pub use stats::{GroupCommitStats, LatencyHistogram, RunStats, Series, SeriesPoint};
 pub use writeset::{RowKey, TableId, VersionedWriteSet, WriteItem, WriteOp, WriteSet};

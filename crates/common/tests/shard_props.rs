@@ -1,0 +1,119 @@
+//! Property-based tests for the key→shard map.
+//!
+//! The sharded certifier's correctness rests on three properties of
+//! [`ShardMap`]: every key maps to exactly one in-range shard (total
+//! coverage), the mapping is a pure function of `(table, key, shard_count)`
+//! — stable across processes, machines and runs — and the single-shard map
+//! degenerates to "everything on shard 0".
+
+use proptest::prelude::*;
+use tashkent_common::{RowKey, ShardId, ShardMap, TableId, Value, WriteItem, WriteSet};
+
+fn arb_key() -> impl Strategy<Value = RowKey> {
+    (0u8..3, -1000i64..1000, -1000i64..1000).prop_map(|(kind, a, b)| match kind {
+        0 => RowKey::Int(a),
+        1 => RowKey::Pair(a, b),
+        _ => RowKey::Text(format!("key-{a}-{b}")),
+    })
+}
+
+fn arb_writeset() -> impl Strategy<Value = WriteSet> {
+    prop::collection::vec(((0u32..6), arb_key()), 0..10).prop_map(|pairs| {
+        WriteSet::from_items(
+            pairs
+                .into_iter()
+                .map(|(t, k)| WriteItem::update(TableId(t), k, vec![("c".into(), Value::Int(0))]))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_key_maps_to_exactly_one_shard_in_range(
+        shard_count in 1usize..32,
+        table in 0u32..8,
+        key in arb_key(),
+    ) {
+        let map = ShardMap::new(shard_count);
+        prop_assert!(map.validate().is_ok());
+        let shard = map.shard_of(TableId(table), &key);
+        prop_assert!(shard.index() < shard_count);
+        // Exactly one: re-asking never yields a different shard.
+        for _ in 0..3 {
+            prop_assert_eq!(map.shard_of(TableId(table), &key), shard);
+        }
+    }
+
+    #[test]
+    fn mapping_is_deterministic_across_map_instances(
+        shard_count in 1usize..32,
+        table in 0u32..8,
+        key in arb_key(),
+    ) {
+        // Two independently constructed maps — stand-ins for the maps
+        // computed by different processes — agree on every key.
+        let a = ShardMap::new(shard_count);
+        let b = ShardMap::new(shard_count);
+        prop_assert_eq!(
+            a.shard_of(TableId(table), &key),
+            b.shard_of(TableId(table), &key)
+        );
+    }
+
+    #[test]
+    fn shard_count_one_is_stable_on_shard_zero(table in 0u32..8, key in arb_key()) {
+        let map = ShardMap::new(1);
+        prop_assert_eq!(map.shard_of(TableId(table), &key), ShardId(0));
+    }
+
+    #[test]
+    fn shards_of_covers_the_footprint_sorted_and_deduped(
+        shard_count in 1usize..16,
+        writeset in arb_writeset(),
+    ) {
+        let map = ShardMap::new(shard_count);
+        let shards = map.shards_of(&writeset);
+        // Strictly ascending (sorted, no duplicates).
+        prop_assert!(shards.windows(2).all(|w| w[0] < w[1]));
+        // Covers exactly the footprint's shards: every item's shard is
+        // listed, and every listed shard owns at least one item.
+        for item in writeset.items() {
+            prop_assert!(shards.contains(&map.shard_of(item.table, &item.key)));
+        }
+        for shard in &shards {
+            prop_assert!(writeset
+                .items()
+                .iter()
+                .any(|i| map.shard_of(i.table, &i.key) == *shard));
+        }
+        prop_assert_eq!(shards.is_empty(), writeset.is_empty());
+    }
+}
+
+/// Pinned expected assignments: these exact values were computed by this
+/// implementation and must never change — replicas, certifier shards and
+/// recovery tooling in *different processes* (and future versions) must
+/// agree on them, or writesets would be routed to the wrong shard's log.
+#[test]
+fn assignments_are_pinned_across_processes_and_versions() {
+    let map = ShardMap::new(7);
+    let cases: Vec<(TableId, RowKey, u32)> = vec![
+        (TableId(0), RowKey::Int(0), 1),
+        (TableId(0), RowKey::Int(1), 3),
+        (TableId(1), RowKey::Int(0), 2),
+        (TableId(3), RowKey::Int(-42), 6),
+        (TableId(0), RowKey::Pair(1, 2), 3),
+        (TableId(2), RowKey::Pair(-1, -2), 2),
+        (TableId(0), RowKey::Text("customer-7".into()), 1),
+        (TableId(5), RowKey::Text("".into()), 3),
+    ];
+    for (table, key, expected) in cases {
+        assert_eq!(
+            map.shard_of(table, &key),
+            ShardId(expected),
+            "pinned assignment changed for ({table}, {key}) — this breaks \
+             cross-process routing"
+        );
+    }
+}

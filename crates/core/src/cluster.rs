@@ -2,11 +2,14 @@
 
 use std::sync::Arc;
 
-use tashkent_certifier::{Certifier, CertifierConfig, CertifierNodeId, CertifierStats};
+use tashkent_certifier::{
+    Certifier, CertifierConfig, CertifierNodeId, CertifierStats, ShardedCertifier,
+    ShardedCertifierConfig,
+};
 use tashkent_common::{
     ClusterConfig, Error, ReplicaId, Result, SystemKind, TableId, Version,
 };
-use tashkent_proxy::{Proxy, ProxyStats, ProxyTransaction};
+use tashkent_proxy::{CertifierHandle, Proxy, ProxyStats, ProxyTransaction};
 use tashkent_storage::disk::DiskConfig;
 
 use crate::replica::ReplicaNode;
@@ -29,7 +32,7 @@ pub struct ClusterStats {
 /// A running in-process replicated database cluster.
 pub struct Cluster {
     config: ClusterConfig,
-    certifier: Arc<Certifier>,
+    certifier: CertifierHandle,
     replicas: Vec<Arc<ReplicaNode>>,
 }
 
@@ -51,7 +54,7 @@ impl Cluster {
     /// validation.
     pub fn new(config: ClusterConfig) -> Result<Self> {
         config.validate().map_err(Error::InvalidConfig)?;
-        let certifier = Arc::new(Certifier::new(CertifierConfig {
+        let certifier_config = CertifierConfig {
             nodes: config.certifiers,
             disk: DiskConfig {
                 fsync_latency: config.service_times.fsync,
@@ -62,13 +65,22 @@ impl Cluster {
             durable: config.system.certifier_durable(),
             forced_abort_rate: config.forced_abort_rate,
             seed: 0x7A5B_1001,
-        }));
+        };
+        let certifier: CertifierHandle = if config.certifier_shards > 1 {
+            Arc::new(ShardedCertifier::new(ShardedCertifierConfig {
+                shards: config.certifier_shards,
+                base: certifier_config,
+            }))
+            .into()
+        } else {
+            Arc::new(Certifier::new(certifier_config)).into()
+        };
         let replicas = (0..config.replicas)
             .map(|i| {
                 Arc::new(ReplicaNode::new(
                     ReplicaId(i as u32),
                     &config,
-                    Arc::clone(&certifier),
+                    certifier.clone(),
                 ))
             })
             .collect();
@@ -97,10 +109,11 @@ impl Cluster {
         self.replicas.len()
     }
 
-    /// The shared certifier component.
+    /// A handle to the shared certification service (single or sharded,
+    /// depending on `certifier_shards` in the configuration).
     #[must_use]
-    pub fn certifier(&self) -> Arc<Certifier> {
-        Arc::clone(&self.certifier)
+    pub fn certifier(&self) -> CertifierHandle {
+        self.certifier.clone()
     }
 
     /// Access to one replica node (for fault injection and inspection).
@@ -276,6 +289,41 @@ mod tests {
             let stats = cluster.stats();
             assert_eq!(stats.update_commits, 1);
             assert!(stats.read_only_commits >= 2);
+        }
+    }
+
+    #[test]
+    fn sharded_certifier_cluster_replicates_and_converges() {
+        for system in SystemKind::ALL {
+            let mut config = ClusterConfig::small(system);
+            config.certifier_shards = 4;
+            let cluster = Cluster::new(config).unwrap();
+            assert!(cluster.certifier().as_sharded().is_some());
+            let t = cluster.create_table("kv", &["v"]);
+            // Mix single- and multi-shard writesets from both replicas.
+            for i in 0..6 {
+                let tx = cluster.session((i % 2) as usize).begin();
+                tx.insert(t, i, vec![("v".into(), Value::Int(i))]).unwrap();
+                if i % 2 == 0 {
+                    tx.insert(t, 100 + i, vec![("v".into(), Value::Int(i))])
+                        .unwrap();
+                }
+                tx.commit().unwrap();
+            }
+            cluster.sync_all().unwrap();
+            assert_eq!(cluster.system_version(), Version(6), "system {system}");
+            for r in 0..cluster.replica_count() {
+                let tx = cluster.session(r).begin();
+                for i in 0..6 {
+                    let row = tx.read(t, i).unwrap().unwrap();
+                    assert_eq!(row.get("v"), Some(&Value::Int(i)), "system {system}");
+                }
+                tx.commit().unwrap();
+            }
+            let versions = cluster.replica_versions();
+            assert!(versions.iter().all(|(_, v)| *v == Version(6)));
+            let stats = cluster.stats();
+            assert_eq!(stats.update_commits, 6);
         }
     }
 

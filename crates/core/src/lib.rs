@@ -53,10 +53,12 @@ pub mod replica;
 pub use cluster::{Cluster, ClusterStats};
 pub use replica::ReplicaNode;
 
-pub use tashkent_certifier::{Certifier, CertifierConfig, CertifierNodeId};
-pub use tashkent_common::{
-    ClusterConfig, Error, IoChannelMode, ReplicaId, Result, RowKey, SyncMode, SystemKind, TableId,
-    Value, Version, WriteSet,
+pub use tashkent_certifier::{
+    Certifier, CertifierConfig, CertifierNodeId, ShardedCertifier, ShardedCertifierConfig,
 };
-pub use tashkent_proxy::{CommitOutcome, Proxy, ProxyConfig, ProxyTransaction};
+pub use tashkent_common::{
+    ClusterConfig, Error, IoChannelMode, ReplicaId, Result, RowKey, ShardId, ShardMap, SyncMode,
+    SystemKind, TableId, Value, Version, WriteSet,
+};
+pub use tashkent_proxy::{CertifierHandle, CommitOutcome, Proxy, ProxyConfig, ProxyTransaction};
 pub use tashkent_storage::{Database, EngineConfig, Row};

@@ -1,12 +1,12 @@
 //! One database replica together with its transparent proxy.
 
-use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use tashkent_certifier::Certifier;
 use tashkent_common::{ClusterConfig, ReplicaId, Result, SyncMode, SystemKind, Version};
-use tashkent_proxy::{recover_base_or_api_replica, recover_mw_replica, Proxy, ProxyConfig};
+use tashkent_proxy::{
+    recover_base_or_api_replica, recover_mw_replica, CertifierHandle, Proxy, ProxyConfig,
+};
 use tashkent_storage::disk::DiskConfig;
 use tashkent_storage::{Database, EngineConfig};
 
@@ -19,7 +19,7 @@ pub struct ReplicaNode {
     schema: Mutex<Vec<(String, Vec<String>)>>,
     db: Mutex<Database>,
     proxy: Mutex<Proxy>,
-    certifier: Arc<Certifier>,
+    certifier: CertifierHandle,
     /// Stored dump images, most recent last (Tashkent-MW recovery).
     dumps: Mutex<Vec<Vec<u8>>>,
     proxy_config: ProxyConfig,
@@ -37,7 +37,7 @@ impl std::fmt::Debug for ReplicaNode {
 impl ReplicaNode {
     /// Creates a fresh replica for the given cluster configuration.
     #[must_use]
-    pub fn new(id: ReplicaId, config: &ClusterConfig, certifier: Arc<Certifier>) -> Self {
+    pub fn new(id: ReplicaId, config: &ClusterConfig, certifier: CertifierHandle) -> Self {
         let sync_mode = config.replica_sync_mode();
         let engine_config = EngineConfig {
             sync_mode,
@@ -58,7 +58,7 @@ impl ReplicaNode {
             eager_precertification: config.eager_precertification,
             staleness_bound: config.staleness_bound,
         };
-        let proxy = Proxy::new(proxy_config.clone(), db.clone(), Arc::clone(&certifier));
+        let proxy = Proxy::new(proxy_config.clone(), db.clone(), certifier.clone());
         ReplicaNode {
             id,
             system: config.system,
@@ -182,7 +182,7 @@ impl ReplicaNode {
         let new_proxy = Proxy::new(
             self.proxy_config.clone(),
             new_db.clone(),
-            Arc::clone(&self.certifier),
+            self.certifier.clone(),
         );
         *self.db.lock() = new_db;
         *self.proxy.lock() = new_proxy;

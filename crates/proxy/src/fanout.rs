@@ -1,0 +1,220 @@
+//! Proxy-side fan-out over the sharded certifier.
+//!
+//! [`CertifierHandle`] is the proxy's uniform view of "the certifier":
+//! either the paper's single [`Certifier`] or a [`ShardedCertifier`].  The
+//! handle keeps the sharding invisible to the commit pipelines — for the
+//! sharded case, [`CertifierHandle::writesets_after`] *fans out* to every
+//! shard's version stream and *fans in* by merging them on ascending global
+//! commit version ([`tashkent_certifier::merge_shard_streams`]), so `apply_remotes_serial` and
+//! `commit_concurrent` consume exactly the gap-free totally-ordered stream
+//! they were written against.
+
+use std::sync::Arc;
+
+use tashkent_certifier::{
+    CertificationRequest, CertificationResponse, Certifier, CertifierNodeId, CertifierStats,
+    RemoteWriteSet, ShardedCertifier,
+};
+use tashkent_common::{Result, Version};
+
+/// A cheaply-cloneable handle to the cluster's certification service.
+#[derive(Clone)]
+pub enum CertifierHandle {
+    /// The unsharded certifier of the paper.
+    Single(Arc<Certifier>),
+    /// The sharded certifier (PR 4): per-shard logs behind a global
+    /// sequencer.
+    Sharded(Arc<ShardedCertifier>),
+}
+
+impl std::fmt::Debug for CertifierHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertifierHandle::Single(c) => f.debug_tuple("Single").field(c).finish(),
+            CertifierHandle::Sharded(c) => f.debug_tuple("Sharded").field(c).finish(),
+        }
+    }
+}
+
+impl From<Arc<Certifier>> for CertifierHandle {
+    fn from(certifier: Arc<Certifier>) -> Self {
+        CertifierHandle::Single(certifier)
+    }
+}
+
+impl From<Arc<ShardedCertifier>> for CertifierHandle {
+    fn from(certifier: Arc<ShardedCertifier>) -> Self {
+        CertifierHandle::Sharded(certifier)
+    }
+}
+
+impl CertifierHandle {
+    /// Certifies an update transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`tashkent_common::Error::Unavailable`] if the certifier (or,
+    /// sharded, any shard owning the writeset) has lost its majority.
+    pub fn certify(&self, request: &CertificationRequest) -> Result<CertificationResponse> {
+        match self {
+            CertifierHandle::Single(c) => c.certify(request),
+            CertifierHandle::Sharded(c) => c.certify(request),
+        }
+    }
+
+    /// The remote writesets committed after `since`, as one gap-free stream
+    /// in ascending global version order.
+    ///
+    /// For the sharded certifier this is the fan-out/fan-in: sample the
+    /// system version, fetch every shard's stream
+    /// ([`ShardedCertifier::shard_streams_after`]), merge by version with
+    /// the sampled bound ([`tashkent_certifier::merge_shard_streams`]).
+    /// Everything above this call is oblivious to sharding.
+    #[must_use]
+    pub fn writesets_after(&self, since: Version) -> Vec<RemoteWriteSet> {
+        match self {
+            CertifierHandle::Single(c) => c.writesets_after(since),
+            CertifierHandle::Sharded(c) => c.writesets_after(since),
+        }
+    }
+
+    /// The certifier's global system version.
+    #[must_use]
+    pub fn system_version(&self) -> Version {
+        match self {
+            CertifierHandle::Single(c) => c.system_version(),
+            CertifierHandle::Sharded(c) => c.system_version(),
+        }
+    }
+
+    /// `true` if certification can make progress (every replicated group —
+    /// the single group, or all shard groups — has a majority up).
+    #[must_use]
+    pub fn is_available(&self) -> bool {
+        match self {
+            CertifierHandle::Single(c) => c.is_available(),
+            CertifierHandle::Sharded(c) => c.is_available(),
+        }
+    }
+
+    /// Crashes one certifier node (for the sharded certifier: that node in
+    /// every shard's group — the physical-machine fault model).
+    pub fn crash_node(&self, node: CertifierNodeId) {
+        match self {
+            CertifierHandle::Single(c) => c.crash_node(node),
+            CertifierHandle::Sharded(c) => c.crash_node(node),
+        }
+    }
+
+    /// Recovers one certifier node via state transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`tashkent_common::Error::Unavailable`] if no up node can
+    /// donate the log.
+    pub fn recover_node(&self, node: CertifierNodeId) -> Result<()> {
+        match self {
+            CertifierHandle::Single(c) => c.recover_node(node),
+            CertifierHandle::Sharded(c) => c.recover_node(node),
+        }
+    }
+
+    /// Statistics in the unsharded shape (sharded counters are aggregated
+    /// across shards; see
+    /// [`ShardedCertifierStats::aggregate`](tashkent_certifier::ShardedCertifierStats::aggregate)).
+    #[must_use]
+    pub fn stats(&self) -> CertifierStats {
+        match self {
+            CertifierHandle::Single(c) => c.stats(),
+            CertifierHandle::Sharded(c) => c.stats().aggregate(),
+        }
+    }
+
+    /// The sharded certifier behind this handle, if it is sharded (per-shard
+    /// fault injection and inspection).
+    #[must_use]
+    pub fn as_sharded(&self) -> Option<&Arc<ShardedCertifier>> {
+        match self {
+            CertifierHandle::Sharded(c) => Some(c),
+            CertifierHandle::Single(_) => None,
+        }
+    }
+
+    /// The unsharded certifier behind this handle, if it is unsharded.
+    #[must_use]
+    pub fn as_single(&self) -> Option<&Arc<Certifier>> {
+        match self {
+            CertifierHandle::Single(c) => Some(c),
+            CertifierHandle::Sharded(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tashkent_certifier::{CertifierConfig, ShardedCertifierConfig};
+    use tashkent_common::{ReplicaId, TableId, Value, WriteItem, WriteSet};
+
+    use super::*;
+
+    fn ws(keys: &[i64]) -> WriteSet {
+        WriteSet::from_items(
+            keys.iter()
+                .map(|&k| WriteItem::update(TableId(0), k, vec![("x".into(), Value::Int(k))]))
+                .collect(),
+        )
+    }
+
+    fn commit(handle: &CertifierHandle, keys: &[i64]) -> Version {
+        let version = handle.system_version();
+        let response = handle
+            .certify(&CertificationRequest {
+                replica: ReplicaId(0),
+                start_version: version,
+                writeset: ws(keys),
+                replica_version: version,
+            })
+            .unwrap();
+        assert!(response.decision.is_commit());
+        response.commit_version.unwrap()
+    }
+
+    #[test]
+    fn sharded_fan_in_matches_the_single_stream_shape() {
+        let single: CertifierHandle =
+            Arc::new(Certifier::new(CertifierConfig::default())).into();
+        let sharded: CertifierHandle = Arc::new(ShardedCertifier::new(
+            ShardedCertifierConfig::with_shards(4),
+        ))
+        .into();
+        for handle in [&single, &sharded] {
+            for k in 0..10 {
+                commit(handle, &[k, k + 100]);
+            }
+            let remotes = handle.writesets_after(Version(3));
+            let versions: Vec<u64> =
+                remotes.iter().map(|r| r.commit_version.value()).collect();
+            assert_eq!(versions, vec![4, 5, 6, 7, 8, 9, 10]);
+            assert_eq!(handle.system_version(), Version(10));
+            assert!(handle.is_available());
+            assert_eq!(handle.stats().commits, 10);
+        }
+        assert!(single.as_single().is_some() && single.as_sharded().is_none());
+        assert!(sharded.as_sharded().is_some() && sharded.as_single().is_none());
+    }
+
+    #[test]
+    fn node_faults_flow_through_the_handle() {
+        let handle: CertifierHandle = Arc::new(ShardedCertifier::new(
+            ShardedCertifierConfig::with_shards(2),
+        ))
+        .into();
+        commit(&handle, &[1]);
+        handle.crash_node(CertifierNodeId(0));
+        handle.crash_node(CertifierNodeId(1));
+        assert!(!handle.is_available());
+        handle.recover_node(CertifierNodeId(0)).unwrap();
+        assert!(handle.is_available());
+        commit(&handle, &[2]);
+    }
+}

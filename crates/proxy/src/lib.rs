@@ -24,14 +24,21 @@
 //! local certification, eager pre-certification (deadlock avoidance by
 //! wounding conflicting local transactions), bounded staleness refresh, and
 //! the soft-recovery / replica-recovery procedures of Sections 7 and 8.
+//!
+//! All pipelines talk to the certifier through the [`fanout::CertifierHandle`],
+//! which hides whether certification is served by the single certifier of
+//! the paper or by the sharded certifier (per-shard streams merged back into
+//! one global version order on this side of the wire).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fanout;
 pub mod proxy;
 pub mod recovery;
 pub mod seen;
 
+pub use fanout::CertifierHandle;
 pub use proxy::{CommitOutcome, Proxy, ProxyConfig, ProxyStats, ProxyTransaction};
 pub use recovery::{catch_up, recover_base_or_api_replica, recover_mw_replica};
 pub use seen::SeenWriteSets;

@@ -5,14 +5,13 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use tashkent_certifier::{
-    CertificationDecision, CertificationRequest, Certifier, RemoteWriteSet,
-};
+use tashkent_certifier::{CertificationDecision, CertificationRequest, RemoteWriteSet};
 use tashkent_common::{
     Error, ReplicaId, Result, RowKey, SystemKind, TableId, Value, Version, WriteSet,
 };
 use tashkent_storage::{Database, Row, TxHandle};
 
+use crate::fanout::CertifierHandle;
 use crate::seen::SeenWriteSets;
 
 /// Configuration of one proxy instance.
@@ -103,7 +102,7 @@ struct ProxyState {
 struct ProxyShared {
     config: ProxyConfig,
     db: Database,
-    certifier: Arc<Certifier>,
+    certifier: CertifierHandle,
     state: Mutex<ProxyState>,
     /// Serialises the apply-remote-writesets / commit phase ([C4]/[C5]) for
     /// the serial pipelines (Base and Tashkent-MW) and the staleness refresh.
@@ -129,15 +128,21 @@ impl std::fmt::Debug for Proxy {
 }
 
 impl Proxy {
-    /// Creates a proxy fronting `db` and talking to `certifier`.
+    /// Creates a proxy fronting `db` and talking to `certifier` (an
+    /// `Arc<Certifier>`, an `Arc<ShardedCertifier>` or a ready-made
+    /// [`CertifierHandle`] — the pipelines are identical above the handle).
     #[must_use]
-    pub fn new(config: ProxyConfig, db: Database, certifier: Arc<Certifier>) -> Self {
+    pub fn new(
+        config: ProxyConfig,
+        db: Database,
+        certifier: impl Into<CertifierHandle>,
+    ) -> Self {
         let scheduled_through = db.version();
         Proxy {
             shared: Arc::new(ProxyShared {
                 config,
                 db,
-                certifier,
+                certifier: certifier.into(),
                 state: Mutex::new(ProxyState {
                     scheduled_through,
                     order_counter: 0,
@@ -391,7 +396,7 @@ impl Proxy {
         if to_apply.is_empty() {
             return Ok(Some(0));
         }
-        let merged = WriteSet::merged(to_apply.iter().map(|r| &r.writeset));
+        let merged = WriteSet::merged(to_apply.iter().map(|r| &*r.writeset));
         self.wound_conflicting_locals(&merged, None);
         self.shared.db.apply_writeset(&merged, target_version)?;
         let mut state = self.shared.state.lock();

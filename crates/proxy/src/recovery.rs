@@ -13,10 +13,11 @@
 
 use std::sync::Arc;
 
-use tashkent_certifier::Certifier;
 use tashkent_common::{Error, Result};
 use tashkent_storage::disk::LogDevice;
 use tashkent_storage::{Database, DatabaseDump, EngineConfig};
+
+use crate::fanout::CertifierHandle;
 
 /// Applies every writeset the certifier has that the database is missing,
 /// in global order, committing each batch at its highest version.
@@ -29,7 +30,7 @@ use tashkent_storage::{Database, DatabaseDump, EngineConfig};
 ///
 /// Fails if the certifier majority is unavailable or the database rejects an
 /// application.
-pub fn catch_up(db: &Database, certifier: &Arc<Certifier>) -> Result<usize> {
+pub fn catch_up(db: &Database, certifier: &CertifierHandle) -> Result<usize> {
     let missing = certifier.writesets_after(db.version());
     if missing.is_empty() {
         return Ok(0);
@@ -39,7 +40,7 @@ pub fn catch_up(db: &Database, certifier: &Arc<Certifier>) -> Result<usize> {
     // to amortise commit overhead, exactly as the recovering proxy does.
     const BATCH: usize = 64;
     for chunk in missing.chunks(BATCH) {
-        let merged = tashkent_common::WriteSet::merged(chunk.iter().map(|r| &r.writeset));
+        let merged = tashkent_common::WriteSet::merged(chunk.iter().map(|r| &*r.writeset));
         let target = chunk.last().expect("chunk is non-empty").commit_version;
         db.apply_writeset(&merged, target)?;
     }
@@ -59,7 +60,7 @@ pub fn recover_base_or_api_replica(
     config: EngineConfig,
     device: Arc<dyn LogDevice>,
     schema: &[(&str, Vec<&str>)],
-    certifier: &Arc<Certifier>,
+    certifier: &CertifierHandle,
 ) -> Result<(Database, usize)> {
     let db = Database::recover(config, device, schema)?;
     let applied = catch_up(&db, certifier)?;
@@ -82,7 +83,7 @@ pub fn recover_base_or_api_replica(
 pub fn recover_mw_replica(
     config: EngineConfig,
     dump_files: &[Vec<u8>],
-    certifier: &Arc<Certifier>,
+    certifier: &CertifierHandle,
 ) -> Result<(Database, usize)> {
     let mut last_error = Error::Corruption("no dump files available".into());
     for raw in dump_files.iter().rev() {
@@ -100,7 +101,10 @@ pub fn recover_mw_replica(
 
 #[cfg(test)]
 mod tests {
-    use tashkent_certifier::{CertificationRequest, CertifierConfig};
+    use tashkent_certifier::{
+        CertificationRequest, Certifier, CertifierConfig, ShardedCertifier,
+        ShardedCertifierConfig,
+    };
     use tashkent_common::{ReplicaId, SyncMode, TableId, Value, Version, WriteItem, WriteSet};
 
     use super::*;
@@ -113,8 +117,7 @@ mod tests {
         )])
     }
 
-    fn certifier_with_entries(count: i64) -> Arc<Certifier> {
-        let certifier = Arc::new(Certifier::new(CertifierConfig::default()));
+    fn fill(certifier: &CertifierHandle, count: i64) {
         for k in 0..count {
             let response = certifier
                 .certify(&CertificationRequest {
@@ -126,6 +129,12 @@ mod tests {
                 .unwrap();
             assert!(response.decision.is_commit());
         }
+    }
+
+    fn certifier_with_entries(count: i64) -> CertifierHandle {
+        let certifier: CertifierHandle =
+            Arc::new(Certifier::new(CertifierConfig::default())).into();
+        fill(&certifier, count);
         certifier
     }
 
@@ -191,6 +200,20 @@ mod tests {
         .unwrap();
         assert_eq!(recovered.version(), Version(6));
         assert_eq!(applied, 2);
+    }
+
+    #[test]
+    fn catch_up_consumes_the_sharded_certifiers_merged_stream() {
+        let certifier: CertifierHandle = Arc::new(ShardedCertifier::new(
+            ShardedCertifierConfig::with_shards(4),
+        ))
+        .into();
+        fill(&certifier, 10);
+        let db = Database::new(EngineConfig::default());
+        db.create_table("t", &["x"]);
+        assert_eq!(catch_up(&db, &certifier).unwrap(), 10);
+        assert_eq!(db.version(), Version(10));
+        assert_eq!(catch_up(&db, &certifier).unwrap(), 0);
     }
 
     #[test]

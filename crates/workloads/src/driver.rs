@@ -86,6 +86,7 @@ pub fn run_driver(cluster: &Arc<Cluster>, workload: &Arc<dyn Workload>, config: 
             handles.push(thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut report = DriverReport::default();
+                let think_time = workload.think_time();
                 while !stop.load(Ordering::Relaxed) {
                     let begun = Instant::now();
                     match workload.run_one(&cluster, replica, client_id, &mut rng) {
@@ -98,6 +99,11 @@ pub fn run_driver(cluster: &Arc<Cluster>, workload: &Arc<dyn Workload>, config: 
                         }
                         Err(e) if e.is_retryable_abort() => report.aborted += 1,
                         Err(_) => break,
+                    }
+                    // Closed-loop think time (TPC-W browsing): the response
+                    // time above excludes it, as the paper's driver does.
+                    if !think_time.is_zero() {
+                        thread::sleep(think_time);
                     }
                 }
                 report
@@ -124,7 +130,7 @@ mod tests {
     use tashkent::{ClusterConfig, SystemKind};
 
     use super::*;
-    use crate::generators::AllUpdates;
+    use crate::generators::{AllUpdates, TpcWBrowsing};
 
     #[test]
     fn driver_runs_clients_on_every_replica() {
@@ -147,5 +153,35 @@ mod tests {
             report.committed - report.read_only
         );
         assert!(report.latency.count() == report.committed);
+    }
+
+    #[test]
+    fn driver_honours_think_times_between_interactions() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::small(SystemKind::TashkentMw)).unwrap());
+        let workload: Arc<dyn Workload> =
+            Arc::new(TpcWBrowsing::new(Duration::from_millis(20)).with_catalogue(50, 10));
+        workload.setup(&cluster);
+        let report = run_driver(
+            &cluster,
+            &workload,
+            &DriverConfig {
+                clients_per_replica: 1,
+                duration: Duration::from_millis(200),
+                seed: 8,
+            },
+        );
+        assert!(report.committed > 0);
+        // With a 20 ms think time, each of the two clients fits roughly
+        // duration/think interactions in the window (compared to thousands
+        // unthrottled) — the pacing, not the engine, bounds throughput.  The
+        // ceiling is twice the ideal 2 × (200/20) so scheduler oversleep of
+        // the driver's stop timer cannot flake the test; even doubled it is
+        // two orders of magnitude below the unthrottled rate.
+        let ceiling = 2 * (2 * (200 / 20));
+        assert!(
+            report.committed + report.aborted <= ceiling,
+            "{} transactions exceed the think-time ceiling {ceiling}",
+            report.committed + report.aborted,
+        );
     }
 }

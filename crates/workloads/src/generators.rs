@@ -10,6 +10,11 @@
 //! * [`TpcW`] — a compact TPC-W bookstore running the shopping mix: 80 %
 //!   read-only interactions (browse / search / best-sellers) and 20 % updates
 //!   (shopping-cart and buy-confirm), with 275-byte average writesets.
+//! * [`TpcWBrowsing`] — the same bookstore running the *browsing* mix: 95 %
+//!   read-only interactions and per-interaction think times, the
+//!   read-dominated scenario of the paper's TPC-W experiments.
+
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -30,6 +35,15 @@ pub trait Workload: Send + Sync {
     /// read-only transaction, and an error if it was aborted.
     fn run_one(&self, cluster: &Cluster, replica: usize, client: ClientId, rng: &mut StdRng)
         -> Result<bool>;
+
+    /// Think time a closed-loop client waits between consecutive
+    /// interactions (TPC-W models users reading a page before clicking).
+    /// The driver sleeps this after every transaction; zero — the default —
+    /// keeps clients saturating, which is what the throughput benchmarks
+    /// want.
+    fn think_time(&self) -> Duration {
+        Duration::ZERO
+    }
 }
 
 /// The AllUpdates micro-benchmark (Section 9.1).
@@ -360,6 +374,76 @@ impl Workload for TpcW {
     }
 }
 
+/// The TPC-W *browsing* mix: the same bookstore as [`TpcW`], but 95 %
+/// read-only interactions and a per-interaction think time.
+///
+/// This is the read-dominated scenario of the paper's TPC-W experiments
+/// (browsing mix, Section 9.4): almost all interactions browse the
+/// catalogue, updates are rare, and closed-loop clients pause between
+/// clicks — so a replica serves many attached clients with modest load, and
+/// almost nothing funnels through the certifier.
+#[derive(Debug, Clone)]
+pub struct TpcWBrowsing {
+    inner: TpcW,
+    think_time: Duration,
+}
+
+impl Default for TpcWBrowsing {
+    fn default() -> Self {
+        TpcWBrowsing::new(Duration::from_millis(2))
+    }
+}
+
+impl TpcWBrowsing {
+    /// A browsing-mix bookstore with the default catalogue and the given
+    /// think time (the TPC-W specification's think times average seconds;
+    /// tests and benches pass milliseconds to keep wall-clock short).
+    #[must_use]
+    pub fn new(think_time: Duration) -> Self {
+        TpcWBrowsing {
+            inner: TpcW {
+                // 95 % browsing / 5 % buy-confirm: the TPC-W browsing mix.
+                update_fraction: 0.05,
+                ..TpcW::default()
+            },
+            think_time,
+        }
+    }
+
+    /// Overrides the catalogue size (items and customers scale together in
+    /// the compact bookstore).
+    #[must_use]
+    pub fn with_catalogue(mut self, items: i64, customers: i64) -> Self {
+        self.inner.items = items;
+        self.inner.customers = customers;
+        self
+    }
+}
+
+impl Workload for TpcWBrowsing {
+    fn name(&self) -> &str {
+        "TPC-W-browsing"
+    }
+
+    fn setup(&self, cluster: &Cluster) {
+        self.inner.setup(cluster);
+    }
+
+    fn run_one(
+        &self,
+        cluster: &Cluster,
+        replica: usize,
+        client: ClientId,
+        rng: &mut StdRng,
+    ) -> Result<bool> {
+        self.inner.run_one(cluster, replica, client, rng)
+    }
+
+    fn think_time(&self) -> Duration {
+        self.think_time
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use rand::SeedableRng;
@@ -426,6 +510,26 @@ mod tests {
             assert_eq!(sum("branches"), sum("tellers"), "replica {r}");
             assert_eq!(sum("branches"), sum("accounts"), "replica {r}");
         }
+    }
+
+    #[test]
+    fn tpcw_browsing_is_read_dominated_with_think_time() {
+        let cluster = cluster();
+        let workload = TpcWBrowsing::new(Duration::from_millis(1)).with_catalogue(50, 10);
+        assert_eq!(workload.think_time(), Duration::from_millis(1));
+        workload.setup(&cluster);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut updates = 0u64;
+        let mut reads = 0u64;
+        for i in 0..60 {
+            match workload.run_one(&cluster, i % 2, ClientId(i as u64), &mut rng) {
+                Ok(true) => updates += 1,
+                Ok(false) => reads += 1,
+                Err(e) => assert!(e.is_retryable_abort(), "unexpected error {e}"),
+            }
+        }
+        // 95 % browsing: reads dominate heavily.
+        assert!(reads >= updates * 5, "reads {reads} updates {updates}");
     }
 
     #[test]

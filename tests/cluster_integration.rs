@@ -2,14 +2,22 @@
 //! every system kind, checking convergence, conflict handling and recovery.
 
 use std::sync::Arc;
+use std::thread;
 use std::time::Duration;
 
 use tashkent::{Cluster, ClusterConfig, SystemKind, Value, Version};
-use tashkent_workloads::{run_driver, AllUpdates, DriverConfig, TpcB, Workload};
+use tashkent_workloads::{run_driver, AllUpdates, DriverConfig, TpcB, TpcWBrowsing, Workload};
 
 fn small_cluster(system: SystemKind, replicas: usize) -> Arc<Cluster> {
     let mut config = ClusterConfig::small(system);
     config.replicas = replicas;
+    Arc::new(Cluster::new(config).unwrap())
+}
+
+fn sharded_cluster(system: SystemKind, replicas: usize, shards: usize) -> Arc<Cluster> {
+    let mut config = ClusterConfig::small(system);
+    config.replicas = replicas;
+    config.certifier_shards = shards;
     Arc::new(Cluster::new(config).unwrap())
 }
 
@@ -94,6 +102,183 @@ fn tpcb_conflicts_abort_but_invariants_hold_across_replicas() {
             totals.push(total);
         }
         assert!(totals.windows(2).all(|w| w[0] == w[1]), "system {system}: {totals:?}");
+    }
+}
+
+#[test]
+fn sharded_cluster_converges_under_tpcb_load() {
+    for shards in [2usize, 4] {
+        let cluster = sharded_cluster(SystemKind::TashkentApi, 2, shards);
+        let workload: Arc<dyn Workload> = Arc::new(TpcB {
+            branches: 2,
+            tellers_per_branch: 2,
+            accounts_per_branch: 100,
+        });
+        workload.setup(&cluster);
+        let report = run_driver(
+            &cluster,
+            &workload,
+            &DriverConfig {
+                clients_per_replica: 2,
+                duration: Duration::from_millis(200),
+                seed: 17,
+            },
+        );
+        assert!(report.committed > 0, "{shards} shards");
+        cluster.sync_all().unwrap();
+        // No lost or duplicated versions: the merged shard streams cover
+        // exactly 1..=system_version.
+        let system = cluster.system_version();
+        let versions: Vec<u64> = cluster
+            .certifier()
+            .writesets_after(Version::ZERO)
+            .iter()
+            .map(|r| r.commit_version.value())
+            .collect();
+        assert_eq!(versions, (1..=system.value()).collect::<Vec<u64>>());
+        // Replicas converge and the TPC-B invariant holds identically.
+        let mut totals = Vec::new();
+        for r in 0..cluster.replica_count() {
+            assert_eq!(cluster.replica(r).version(), system, "{shards} shards");
+            let db = cluster.replica(r).database();
+            let branches = db.table_id("branches").unwrap();
+            let tx = db.begin();
+            let total: i64 = tx
+                .scan(branches)
+                .unwrap()
+                .iter()
+                .filter_map(|(_, row)| row.get("balance").and_then(Value::as_int))
+                .sum();
+            tx.abort();
+            totals.push(total);
+        }
+        assert!(totals.windows(2).all(|w| w[0] == w[1]), "{shards} shards: {totals:?}");
+    }
+}
+
+#[test]
+fn browsing_mix_runs_on_a_sharded_cluster() {
+    let cluster = sharded_cluster(SystemKind::TashkentMw, 2, 2);
+    let workload: Arc<dyn Workload> =
+        Arc::new(TpcWBrowsing::new(Duration::from_millis(1)).with_catalogue(100, 20));
+    workload.setup(&cluster);
+    let report = run_driver(
+        &cluster,
+        &workload,
+        &DriverConfig {
+            clients_per_replica: 3,
+            duration: Duration::from_millis(250),
+            seed: 23,
+        },
+    );
+    assert!(report.committed > 0);
+    // Browsing mix: the vast majority of interactions are read-only and
+    // never reach the certifier.
+    assert!(report.read_only * 2 > report.committed, "{report:?}");
+    cluster.sync_all().unwrap();
+    let system = cluster.system_version();
+    for (replica, version) in cluster.replica_versions() {
+        assert_eq!(version, system, "replica {replica}");
+    }
+}
+
+/// The crash-fault injection seed (ROADMAP): kill one node of one certifier
+/// shard's replicated group *mid-load*, let the shard fail over, recover the
+/// node via state transfer, and prove no commit was lost or reordered.
+#[test]
+fn certifier_shard_node_crash_and_recovery_mid_load_loses_nothing() {
+    use tashkent::ShardId;
+
+    let cluster = sharded_cluster(SystemKind::TashkentApi, 2, 2);
+    let workload: Arc<dyn Workload> = Arc::new(AllUpdates::default());
+    workload.setup(&cluster);
+
+    let faulted_shard = ShardId(1);
+    let sharded = {
+        let handle = cluster.certifier();
+        Arc::clone(handle.as_sharded().expect("cluster is sharded"))
+    };
+    // Mid-load fault injector: wait for traffic, crash the shard's current
+    // leader (the worst node to lose), hold the outage for a while, then
+    // recover it.
+    let injector = {
+        let sharded = Arc::clone(&sharded);
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(60));
+            let victim = sharded.shard_leader(faulted_shard);
+            sharded.crash_shard_node(faulted_shard, victim);
+            thread::sleep(Duration::from_millis(80));
+            sharded.recover_shard_node(faulted_shard, victim).unwrap();
+            victim
+        })
+    };
+    let report = run_driver(
+        &cluster,
+        &workload,
+        &DriverConfig {
+            clients_per_replica: 3,
+            duration: Duration::from_millis(300),
+            seed: 29,
+        },
+    );
+    let victim = injector.join().unwrap();
+
+    // The shard kept a majority throughout, so load never stalled...
+    assert!(report.committed > 50, "only {} commits", report.committed);
+    assert!(cluster.certifier().is_available());
+    // ...and every commit the clients observed is in the certified history.
+    let system = cluster.system_version();
+    assert!(system.value() >= report.committed);
+
+    // No lost or reordered commits: the merged stream is exactly the dense,
+    // ascending sequence 1..=system_version.
+    let versions: Vec<u64> = cluster
+        .certifier()
+        .writesets_after(Version::ZERO)
+        .iter()
+        .map(|r| r.commit_version.value())
+        .collect();
+    assert_eq!(versions, (1..=system.value()).collect::<Vec<u64>>());
+
+    // The recovered node's durable log caught up via state transfer: it
+    // holds the same *set* of entries as the shard's leader, including those
+    // certified during its outage.  (Only the set is compared: replicated
+    // appends happen after the in-memory locks are released, so concurrent
+    // appends may land on different nodes' disks in slightly different
+    // order — the commit order itself is the certified stream checked
+    // above, and recovery rebuilds in-memory state by version, not by file
+    // position.)
+    let versions_of = |entries: &[(Version, tashkent::WriteSet)]| -> Vec<u64> {
+        let mut versions: Vec<u64> = entries.iter().map(|(v, _)| v.value()).collect();
+        versions.sort_unstable();
+        versions
+    };
+    let leader = sharded.shard_leader(faulted_shard);
+    let leader_entries = sharded
+        .shard_durable_entries(faulted_shard, leader)
+        .unwrap();
+    let recovered_entries = sharded
+        .shard_durable_entries(faulted_shard, victim)
+        .unwrap();
+    assert!(!recovered_entries.is_empty());
+    assert_eq!(versions_of(&leader_entries), versions_of(&recovered_entries));
+
+    // Across shards, the durable home-shard logs jointly cover the entire
+    // certified history — nothing was lost at the durability layer either.
+    let mut durable_union = Vec::new();
+    for shard in [ShardId(0), ShardId(1)] {
+        let node = sharded.shard_leader(shard);
+        durable_union.extend(versions_of(
+            &sharded.shard_durable_entries(shard, node).unwrap(),
+        ));
+    }
+    durable_union.sort_unstable();
+    assert_eq!(durable_union, (1..=system.value()).collect::<Vec<u64>>());
+
+    // Replicas converge on the full prefix afterwards.
+    cluster.sync_all().unwrap();
+    for (replica, version) in cluster.replica_versions() {
+        assert_eq!(version, cluster.system_version(), "replica {replica}");
     }
 }
 

@@ -132,13 +132,15 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     criterion: &'a mut Criterion,
     sample_size: usize,
+    smoke: bool,
     throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (clamped to 2 in
+    /// `--smoke` mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = if self.smoke { n.clamp(1, 2) } else { n.max(1) };
         self
     }
 
@@ -197,26 +199,37 @@ impl BenchmarkGroup<'_> {
 #[derive(Debug, Default)]
 pub struct Criterion {
     default_sample_size: usize,
+    smoke: bool,
 }
 
 impl Criterion {
-    /// Accepts command-line configuration (no-op in the stub).
+    /// Accepts command-line configuration.  The stub understands one flag of
+    /// its own: `--smoke` (as in `cargo bench -- --smoke`) clamps every
+    /// benchmark to two samples so CI can execute all bench code in seconds
+    /// without producing meaningful numbers.  Real criterion flags are
+    /// accepted and ignored.
     #[must_use]
-    pub fn configure_from_args(self) -> Self {
+    pub fn configure_from_args(mut self) -> Self {
+        self.smoke = std::env::args().any(|a| a == "--smoke");
         self
     }
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        let sample_size = if self.default_sample_size == 0 {
+        let mut sample_size = if self.default_sample_size == 0 {
             20
         } else {
             self.default_sample_size
         };
+        if self.smoke {
+            sample_size = sample_size.min(2);
+        }
+        let smoke = self.smoke;
         BenchmarkGroup {
             name: name.to_string(),
             criterion: self,
             sample_size,
+            smoke,
             throughput: None,
         }
     }
