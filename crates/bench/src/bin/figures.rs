@@ -6,9 +6,14 @@
 //! cargo run -p tashkent-bench --release --bin figures -- all
 //! cargo run -p tashkent-bench --release --bin figures -- fig4 fig14 grouping
 //! cargo run -p tashkent-bench --release --bin figures -- --quick all
+//! cargo run -p tashkent-bench --release --bin figures -- tpcw-cluster
 //! ```
+//!
+//! The `fig*` / table ids replay the calibrated simulator; `tpcw-cluster`
+//! runs the TPC-W browsing and shopping mixes on real in-process clusters
+//! (`all` includes it).
 
-use tashkent_bench::run_figure;
+use tashkent_bench::{run_figure, run_tpcw_cluster};
 use tashkent_sim::FigureId;
 
 fn main() {
@@ -16,16 +21,21 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let tokens: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
-    let figures: Vec<FigureId> = if tokens.is_empty() || tokens.iter().any(|t| t.as_str() == "all")
-    {
+    let all = tokens.is_empty() || tokens.iter().any(|t| t.as_str() == "all");
+    let tpcw_cluster =
+        all || tokens.iter().any(|t| t.as_str() == "tpcw-cluster" || t.as_str() == "tpcw-real");
+    let figures: Vec<FigureId> = if all {
         FigureId::ALL.to_vec()
     } else {
         tokens
             .iter()
+            .filter(|t| t.as_str() != "tpcw-cluster" && t.as_str() != "tpcw-real")
             .filter_map(|t| {
                 let id = FigureId::parse(t);
                 if id.is_none() {
-                    eprintln!("unknown figure id '{t}' (expected fig4..fig14, standalone, grouping)");
+                    eprintln!(
+                        "unknown figure id '{t}' (expected fig4..fig14, standalone, grouping, tpcw-cluster)"
+                    );
                 }
                 id
             })
@@ -34,5 +44,8 @@ fn main() {
 
     for id in figures {
         println!("{}", run_figure(id, quick));
+    }
+    if tpcw_cluster {
+        println!("{}", run_tpcw_cluster(quick));
     }
 }

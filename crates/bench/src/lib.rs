@@ -14,7 +14,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+use std::time::Duration;
+
+use tashkent::{Cluster, ClusterConfig, SystemKind};
 use tashkent_sim::{Experiment, FigureId};
+use tashkent_workloads::{
+    run_driver, DriverConfig, TpcWBrowsing, TpcWShopping, Workload,
+};
 
 /// Runs one figure/table experiment and returns its rendered text.
 #[must_use]
@@ -25,6 +32,77 @@ pub fn run_figure(id: FigureId, quick: bool) -> String {
         Experiment::new(id)
     };
     experiment.run().render()
+}
+
+/// Runs the TPC-W browsing and shopping mixes on **real clusters** across
+/// replica counts and systems, and renders throughput / read-share /
+/// response-time rows (the cluster-backed counterpart of the simulator's
+/// Figures 12–13; the browsing mix with think times has no simulator
+/// profile, so the real driver is the source of truth for it).
+///
+/// `quick` shortens the per-point window and replica sweep for tests/CI.
+#[must_use]
+pub fn run_tpcw_cluster(quick: bool) -> String {
+    let (replica_counts, window): (&[usize], Duration) = if quick {
+        (&[1, 2], Duration::from_millis(200))
+    } else {
+        (&[1, 2, 3, 4], Duration::from_millis(600))
+    };
+    let think = Duration::from_millis(2);
+    type WorkloadFactory = Box<dyn Fn() -> Arc<dyn Workload>>;
+    let mixes: Vec<(&str, WorkloadFactory)> = vec![
+        (
+            "browsing",
+            Box::new(move || Arc::new(TpcWBrowsing::new(think).with_catalogue(200, 40))),
+        ),
+        (
+            "shopping",
+            Box::new(move || Arc::new(TpcWShopping::new(think).with_catalogue(200, 40))),
+        ),
+    ];
+    let mut out = String::new();
+    out.push_str("# tpcw-cluster — TPC-W mixes on the real cluster\n");
+    for (mix_name, make_workload) in &mixes {
+        out.push_str(&format!("## {mix_name} mix\n"));
+        out.push_str(&format!(
+            "{:<28}{:>12}{:>12}{:>12}{:>12}\n",
+            "system x replicas", "tput/s", "read share", "p50 ms", "drain ms"
+        ));
+        for system in SystemKind::ALL {
+            for &replicas in replica_counts {
+                let mut config = ClusterConfig::small(system);
+                config.replicas = replicas;
+                config.clients_per_replica = 3;
+                let cluster = Arc::new(Cluster::new(config).expect("valid configuration"));
+                let workload = make_workload();
+                workload.setup(&cluster);
+                let report = run_driver(
+                    &cluster,
+                    &workload,
+                    &DriverConfig {
+                        clients_per_replica: 3,
+                        duration: window,
+                        seed: 0x7A5B_3001 + replicas as u64,
+                        ..DriverConfig::default()
+                    },
+                );
+                let read_share = if report.committed == 0 {
+                    0.0
+                } else {
+                    report.read_only as f64 / report.committed as f64
+                };
+                out.push_str(&format!(
+                    "{:<28}{:>12.0}{:>12.2}{:>12.2}{:>12}\n",
+                    format!("{} x {replicas}", system.label()),
+                    report.throughput(),
+                    read_share,
+                    report.latency.median().as_secs_f64() * 1e3,
+                    report.drain.as_millis(),
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// Runs every figure/table experiment, returning `(label, rendered)` pairs.
@@ -46,5 +124,15 @@ mod tests {
         assert!(text.contains("fig4"));
         assert!(text.contains("tashMW"));
         assert!(text.contains("base"));
+    }
+
+    #[test]
+    fn tpcw_cluster_renders_both_mixes_for_every_system() {
+        let text = run_tpcw_cluster(true);
+        assert!(text.contains("browsing mix"));
+        assert!(text.contains("shopping mix"));
+        for system in ["base", "tashMW", "tashAPI"] {
+            assert!(text.contains(&format!("{system} x 1")), "{system}:\n{text}");
+        }
     }
 }

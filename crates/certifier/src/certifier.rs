@@ -219,6 +219,18 @@ impl Certifier {
         self.replicated.leader()
     }
 
+    /// Total number of nodes in the certifier group.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.replicated.node_count()
+    }
+
+    /// The nodes currently up, in node-id order (fault targeting).
+    #[must_use]
+    pub fn up_nodes(&self) -> Vec<CertifierNodeId> {
+        self.replicated.up_nodes()
+    }
+
     /// Crashes one certifier node (fault injection).
     pub fn crash_node(&self, node: CertifierNodeId) {
         self.replicated.crash_node(node);

@@ -139,6 +139,29 @@ impl ReplicatedLog {
         self.nodes.iter().filter(|n| n.is_up()).count()
     }
 
+    /// Total number of nodes in the group (up or down).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The nodes currently up, in node-id order (fault targeting: the
+    /// fault-schedule harness picks leaders and followers from this list).
+    #[must_use]
+    pub fn up_nodes(&self) -> Vec<CertifierNodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_up())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// `true` if the given node is currently up.
+    #[must_use]
+    pub fn is_node_up(&self, id: CertifierNodeId) -> bool {
+        self.nodes.iter().any(|n| n.id == id && n.is_up())
+    }
+
     /// `true` if a majority of certifier nodes is up, i.e. update
     /// transactions can make progress (Section 7).
     #[must_use]

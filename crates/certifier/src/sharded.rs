@@ -284,6 +284,23 @@ impl ShardedCertifier {
         self.shards[shard.index()].replicated.leader()
     }
 
+    /// Total number of nodes in each shard's replicated group.
+    #[must_use]
+    pub fn nodes_per_shard(&self) -> usize {
+        self.shards[0].replicated.node_count()
+    }
+
+    /// The up nodes of one shard's replicated group, in node-id order
+    /// (fault targeting: leaders and followers are picked from this list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard_up_nodes(&self, shard: ShardId) -> Vec<CertifierNodeId> {
+        self.shards[shard.index()].replicated.up_nodes()
+    }
+
     /// Crashes one node of one shard's replicated group (fault injection).
     ///
     /// # Panics

@@ -7,7 +7,7 @@ use tashkent_certifier::{
     ShardedCertifierConfig,
 };
 use tashkent_common::{
-    ClusterConfig, Error, ReplicaId, Result, SystemKind, TableId, Version,
+    ClusterConfig, Error, ReplicaId, Result, ShardId, SystemKind, TableId, Version,
 };
 use tashkent_proxy::{CertifierHandle, Proxy, ProxyStats, ProxyTransaction};
 use tashkent_storage::disk::DiskConfig;
@@ -137,6 +137,18 @@ impl Cluster {
             .expect("table was just created")
     }
 
+    /// Seals every replica's current state as its recovery baseline
+    /// ([`ReplicaNode::seal_baseline`]).  Workload loaders call this after
+    /// bulk-loading the initial database so that crash recovery — which
+    /// replays the WAL, the dumps and the certifier log, none of which the
+    /// bulk load went through — starts from the loaded state instead of an
+    /// empty one.
+    pub fn seal_baseline(&self) {
+        for replica in &self.replicas {
+            replica.seal_baseline();
+        }
+    }
+
     /// A client session bound to one replica (clients always talk to a single
     /// replica, as in the paper's model).
     ///
@@ -172,6 +184,34 @@ impl Cluster {
         Ok(applied)
     }
 
+    /// Crashes one replica's database process (fault injection).
+    ///
+    /// Equivalent to `cluster.replica(replica).crash()`; exposed directly on
+    /// the cluster so fault schedules address replicas and certifier nodes
+    /// through one surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn crash_replica(&self, replica: usize) {
+        self.replicas[replica].crash();
+    }
+
+    /// Recovers one crashed replica following its system's procedure (WAL
+    /// redo or dump restore, then certifier catch-up).  Returns the number of
+    /// writesets re-applied during catch-up.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ReplicaNode::recover`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn recover_replica(&self, replica: usize) -> Result<usize> {
+        self.replicas[replica].recover()
+    }
+
     /// Crashes one certifier node.
     pub fn crash_certifier_node(&self, node: CertifierNodeId) {
         self.certifier.crash_node(node);
@@ -184,6 +224,33 @@ impl Cluster {
     /// Fails if no up node can donate its log.
     pub fn recover_certifier_node(&self, node: CertifierNodeId) -> Result<()> {
         self.certifier.recover_node(node)
+    }
+
+    /// Crashes one node of one certifier shard's replicated group (the
+    /// unsharded certifier is addressed as shard 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn crash_certifier_shard_node(&self, shard: ShardId, node: CertifierNodeId) {
+        self.certifier.crash_shard_node(shard, node);
+    }
+
+    /// Recovers one node of one certifier shard's group via state transfer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the shard has no up node to donate its log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn recover_certifier_shard_node(
+        &self,
+        shard: ShardId,
+        node: CertifierNodeId,
+    ) -> Result<()> {
+        self.certifier.recover_shard_node(shard, node)
     }
 
     /// Aggregated statistics across the cluster.

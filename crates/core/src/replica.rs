@@ -8,7 +8,7 @@ use tashkent_proxy::{
     recover_base_or_api_replica, recover_mw_replica, CertifierHandle, Proxy, ProxyConfig,
 };
 use tashkent_storage::disk::DiskConfig;
-use tashkent_storage::{Database, EngineConfig};
+use tashkent_storage::{Database, DatabaseDump, EngineConfig};
 
 /// A database replica, its proxy, and the recovery material the middleware
 /// keeps for it (dump files for Tashkent-MW).
@@ -22,6 +22,10 @@ pub struct ReplicaNode {
     certifier: CertifierHandle,
     /// Stored dump images, most recent last (Tashkent-MW recovery).
     dumps: Mutex<Vec<Vec<u8>>>,
+    /// Baseline image of bulk-loaded state that never went through the WAL
+    /// (stands in for a real engine's data pages; see
+    /// [`ReplicaNode::seal_baseline`]).
+    baseline: Mutex<Option<Vec<u8>>>,
     proxy_config: ProxyConfig,
 }
 
@@ -68,6 +72,7 @@ impl ReplicaNode {
             proxy: Mutex::new(proxy),
             certifier,
             dumps: Mutex::new(Vec::new()),
+            baseline: Mutex::new(None),
             proxy_config,
         }
     }
@@ -125,6 +130,22 @@ impl ReplicaNode {
         len
     }
 
+    /// Seals the replica's current state as its recovery baseline.
+    ///
+    /// Workload loaders populate the initial database through
+    /// [`Database::bulk_load`], which bypasses the transaction machinery and
+    /// the WAL — on a real engine that state would live in data pages that
+    /// survive a crash independently of the log, but this simulated engine
+    /// has no data pages, so WAL redo alone would silently drop every
+    /// bulk-loaded row that was never subsequently updated (found by the
+    /// fault-schedule harness: a recovered TPC-B replica came back missing
+    /// a quarter of its accounts).  Sealing captures that state: recovery
+    /// restores the baseline first and replays the WAL (or the dumps and the
+    /// certifier log) on top.
+    pub fn seal_baseline(&self) {
+        *self.baseline.lock() = Some(self.database().dump().to_bytes());
+    }
+
     /// Crashes the replica's database process.
     pub fn crash(&self) {
         self.database().crash();
@@ -153,11 +174,15 @@ impl ReplicaNode {
             .map(|(n, cols)| (n.as_str(), cols.iter().map(String::as_str).collect()))
             .collect();
         let old_db = self.database();
+        let baseline_bytes = self.baseline.lock().clone();
         let (new_db, applied) = if self.system == SystemKind::TashkentMw {
-            let dumps = self.dumps.lock().clone();
+            // The sealed baseline is the oldest dump: used only when every
+            // rolling dump is corrupt or none was ever taken.
+            let mut dumps = baseline_bytes.into_iter().collect::<Vec<_>>();
+            dumps.extend(self.dumps.lock().iter().cloned());
             if dumps.is_empty() {
-                // Without a dump the replica restarts empty and replays the
-                // whole certifier log.
+                // Without any recovery image the replica restarts empty and
+                // replays the whole certifier log.
                 let db = Database::new(self.engine_config.clone());
                 for (name, columns) in &schema {
                     db.create_table(name, columns);
@@ -168,10 +193,15 @@ impl ReplicaNode {
                 recover_mw_replica(self.engine_config.clone(), &dumps, &self.certifier)?
             }
         } else {
+            let baseline = baseline_bytes
+                .as_deref()
+                .map(DatabaseDump::from_bytes)
+                .transpose()?;
             recover_base_or_api_replica(
                 self.engine_config.clone(),
                 old_db.log_device(),
                 &schema,
+                baseline.as_ref(),
                 &self.certifier,
             )?
         };

@@ -1,0 +1,260 @@
+//! The fault executor: drives a [`FaultPlan`] against a live [`Cluster`].
+//!
+//! The executor runs on its own injector thread next to the workload
+//! driver.  It watches the cluster's global commit version and fires each
+//! plan event once its version threshold is reached, resolving leader /
+//! follower picks against the shard group's membership *at crash time* (the
+//! membership only changes through the plan's own earlier events, so
+//! resolution is deterministic for a given plan).  When the load window
+//! closes, any event the load did not reach is fired immediately — a
+//! schedule always executes completely — and every target the plan left
+//! crashed (there should be none for generated plans) is recovered so the
+//! invariant oracle inspects a fully-healed cluster.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use tashkent::{Cluster, CertifierNodeId};
+use tashkent_common::{Error, Result};
+
+use crate::plan::{FaultAction, FaultEvent, FaultPlan, FaultTarget, NodePick};
+
+/// One executed event, with its pick resolved to a concrete victim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiredEvent {
+    /// The crash/recover pair this event belongs to.
+    pub fault: usize,
+    /// `true` for the crash half, `false` for the recover half.
+    pub crash: bool,
+    /// The planned target.
+    pub target: FaultTarget,
+    /// The concrete certifier node hit (certifier faults only).
+    pub node: Option<CertifierNodeId>,
+    /// The planned injection point.
+    pub planned_at: tashkent::Version,
+}
+
+/// The executed schedule: every fired event in order.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    /// Events in firing order.
+    pub fired: Vec<FiredEvent>,
+    /// Recover attempts that had to be retried (transient unavailability
+    /// while the cluster was still degraded).
+    pub recover_retries: u64,
+}
+
+impl ExecutionTrace {
+    /// The resolved victims in firing order — the replay-determinism
+    /// fingerprint compared across runs of the same seed.
+    #[must_use]
+    pub fn victims(&self) -> Vec<(usize, bool, FaultTarget, Option<CertifierNodeId>)> {
+        self.fired
+            .iter()
+            .map(|e| (e.fault, e.crash, e.target, e.node))
+            .collect()
+    }
+}
+
+/// Executes a fault plan against a cluster.
+pub struct FaultExecutor {
+    cluster: Arc<Cluster>,
+    plan: FaultPlan,
+    /// How often the injector polls the system version.
+    pub poll_interval: Duration,
+}
+
+/// Handle to a running injector thread.
+pub struct FaultInjector {
+    stop: Arc<AtomicBool>,
+    handle: thread::JoinHandle<Result<ExecutionTrace>>,
+}
+
+impl FaultInjector {
+    /// Signals the end of the load window and waits for the injector to
+    /// drain the remaining events and heal the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery errors (e.g. a shard group left without a donor,
+    /// which generated plans never produce).
+    pub fn finish(self) -> Result<ExecutionTrace> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .join()
+            .map_err(|_| Error::Protocol("fault injector thread panicked".into()))?
+    }
+}
+
+impl FaultExecutor {
+    /// Creates an executor for `plan` over `cluster`.
+    #[must_use]
+    pub fn new(cluster: Arc<Cluster>, plan: FaultPlan) -> Self {
+        FaultExecutor {
+            cluster,
+            plan,
+            poll_interval: Duration::from_micros(200),
+        }
+    }
+
+    /// Spawns the injector thread.  Run the workload driver concurrently,
+    /// then call [`FaultInjector::finish`].
+    #[must_use]
+    pub fn start(self) -> FaultInjector {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = thread::spawn(move || self.run(&thread_stop));
+        FaultInjector { stop, handle }
+    }
+
+    fn run(self, stop: &AtomicBool) -> Result<ExecutionTrace> {
+        let mut trace = ExecutionTrace::default();
+        // Resolved victim per fault id, for the recover half and the healing
+        // epilogue.
+        let mut resolved: Vec<Option<(FaultTarget, Option<CertifierNodeId>)>> = Vec::new();
+        for event in &self.plan.events {
+            // Wait for the injection point; once the load window closes the
+            // remaining events fire immediately so the schedule always
+            // completes.
+            while !stop.load(Ordering::Relaxed)
+                && self.cluster.system_version() < event.at_version
+            {
+                thread::sleep(self.poll_interval);
+            }
+            self.fire(event, &mut resolved, &mut trace)?;
+        }
+        // Healing epilogue: recover anything still down (generated plans
+        // recover every fault themselves; hand-built plans may not).
+        for entry in resolved.into_iter().flatten() {
+            match entry {
+                (FaultTarget::Replica(r), _) if self.cluster.replica(r).is_crashed() => {
+                    self.recover_with_retry(&mut trace, |c| c.recover_replica(r).map(|_| ()))?;
+                }
+                (FaultTarget::CertifierNode { shard, .. }, Some(node))
+                    if !self
+                        .cluster
+                        .certifier()
+                        .shard_up_nodes(shard)
+                        .contains(&node) =>
+                {
+                    self.recover_with_retry(&mut trace, |c| {
+                        c.recover_certifier_shard_node(shard, node)
+                    })?;
+                }
+                _ => {}
+            }
+        }
+        Ok(trace)
+    }
+
+    fn fire(
+        &self,
+        event: &FaultEvent,
+        resolved: &mut Vec<Option<(FaultTarget, Option<CertifierNodeId>)>>,
+        trace: &mut ExecutionTrace,
+    ) -> Result<()> {
+        match event.action {
+            FaultAction::Crash { fault, target } => {
+                let node = match target {
+                    FaultTarget::Replica(r) => {
+                        self.cluster.crash_replica(r);
+                        None
+                    }
+                    FaultTarget::CertifierNode { shard, pick } => {
+                        let certifier = self.cluster.certifier();
+                        let leader = certifier.shard_leader(shard);
+                        let victim = match pick {
+                            NodePick::Leader => leader,
+                            NodePick::Follower(k) => {
+                                let followers: Vec<CertifierNodeId> = certifier
+                                    .shard_up_nodes(shard)
+                                    .into_iter()
+                                    .filter(|n| *n != leader)
+                                    .collect();
+                                // Quorum safety guarantees at least one up
+                                // follower; fall back to the leader for
+                                // degenerate hand-built plans.
+                                followers
+                                    .get(k % followers.len().max(1))
+                                    .copied()
+                                    .unwrap_or(leader)
+                            }
+                        };
+                        self.cluster.crash_certifier_shard_node(shard, victim);
+                        Some(victim)
+                    }
+                };
+                if resolved.len() <= fault {
+                    resolved.resize(fault + 1, None);
+                }
+                resolved[fault] = Some((target, node));
+                trace.fired.push(FiredEvent {
+                    fault,
+                    crash: true,
+                    target,
+                    node,
+                    planned_at: event.at_version,
+                });
+            }
+            FaultAction::Recover { fault } => {
+                let (target, node) = resolved
+                    .get(fault)
+                    .copied()
+                    .flatten()
+                    .ok_or_else(|| {
+                        Error::Protocol(format!("recover of unknown fault #{fault}"))
+                    })?;
+                match (target, node) {
+                    (FaultTarget::Replica(r), _) => {
+                        self.recover_with_retry(trace, |c| c.recover_replica(r).map(|_| ()))?;
+                    }
+                    (FaultTarget::CertifierNode { shard, .. }, Some(victim)) => {
+                        self.recover_with_retry(trace, |c| {
+                            c.recover_certifier_shard_node(shard, victim)
+                        })?;
+                    }
+                    (FaultTarget::CertifierNode { .. }, None) => {
+                        return Err(Error::Protocol(format!(
+                            "fault #{fault} resolved without a victim node"
+                        )));
+                    }
+                }
+                trace.fired.push(FiredEvent {
+                    fault,
+                    crash: false,
+                    target,
+                    node,
+                    planned_at: event.at_version,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a recovery action, retrying briefly: a recover fired while the
+    /// cluster is still degraded can be transiently refused (e.g. a replica
+    /// catch-up racing an unavailable component).
+    fn recover_with_retry(
+        &self,
+        trace: &mut ExecutionTrace,
+        mut action: impl FnMut(&Cluster) -> Result<()>,
+    ) -> Result<()> {
+        const ATTEMPTS: usize = 50;
+        let mut last = None;
+        for attempt in 0..ATTEMPTS {
+            match action(&self.cluster) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    if attempt + 1 < ATTEMPTS {
+                        trace.recover_retries += 1;
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.expect("loop ran at least once"))
+    }
+}

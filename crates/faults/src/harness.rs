@@ -1,0 +1,271 @@
+//! The schedule harness: one seed in, one verified schedule out.
+//!
+//! [`run_schedule`] is the single entry point the soak tests and CI smoke
+//! use: the seed determines the cluster shape (system, replica count,
+//! certifier shard count), the workload, the load parameters *and* the
+//! fault plan, so a failing run is reproduced by exactly one number.
+//! [`run_plan`] runs an explicit plan against an explicit configuration —
+//! the building block [`shrink_failure`] uses to re-execute candidate plans
+//! during minimization.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tashkent::{Cluster, ClusterConfig, SystemKind};
+use tashkent_workloads::{
+    run_driver, AllUpdates, DriverConfig, DriverReport, TpcB, Workload,
+};
+
+use crate::executor::{ExecutionTrace, FaultExecutor};
+use crate::minimize::{minimize, Minimized};
+use crate::oracle::{check_cluster, TpcBInvariant, Violation, WorkloadInvariant};
+use crate::plan::{FaultPlan, PlanConfig};
+
+/// The workloads the harness drives fault schedules under.
+///
+/// Both are all-update mixes so the commit version — the injection-point
+/// clock — advances briskly; TPC-B adds real write-write conflicts, the
+/// multi-table writesets that exercise multi-shard certification, and a
+/// conservation law for the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HarnessWorkload {
+    /// Disjoint-key single-row updates (no conflicts, maximal throughput).
+    AllUpdates,
+    /// TPC-B with a small branch set (conflicts, multi-shard writesets,
+    /// balance-sum invariant).
+    TpcB,
+}
+
+impl HarnessWorkload {
+    fn build(self) -> Arc<dyn Workload> {
+        match self {
+            HarnessWorkload::AllUpdates => Arc::new(AllUpdates::default()),
+            HarnessWorkload::TpcB => Arc::new(TpcB {
+                branches: 2,
+                tellers_per_branch: 2,
+                accounts_per_branch: 100,
+            }),
+        }
+    }
+
+    fn invariant(self) -> Option<Box<dyn WorkloadInvariant>> {
+        match self {
+            HarnessWorkload::AllUpdates => None,
+            HarnessWorkload::TpcB => Some(Box::new(TpcBInvariant)),
+        }
+    }
+}
+
+/// Everything one schedule run needs, derived from a seed or set by hand.
+#[derive(Debug, Clone)]
+pub struct ScheduleConfig {
+    /// Replication design under test.
+    pub system: SystemKind,
+    /// Replica count.
+    pub replicas: usize,
+    /// Certifier shard count (1 = the unsharded certifier).
+    pub certifier_shards: usize,
+    /// Workload driving the commit clock.
+    pub workload: HarnessWorkload,
+    /// Closed-loop clients per replica.
+    pub clients_per_replica: usize,
+    /// Load window.
+    pub duration: Duration,
+    /// Crash/recover pairs to schedule.
+    pub faults: usize,
+    /// Maximum commit-version gap between consecutive fault events.
+    pub version_step: u64,
+}
+
+impl ScheduleConfig {
+    /// Draws a mixed cluster/workload/fault shape from the seed.
+    ///
+    /// The draw is deterministic: the same seed always produces the same
+    /// configuration (and, via [`run_schedule`], the same plan).
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        // A distinct stream from the plan's (which uses the seed directly).
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_D15E_A5E5);
+        let system = match rng.gen_range(0..3u32) {
+            0 => SystemKind::Base,
+            1 => SystemKind::TashkentMw,
+            _ => SystemKind::TashkentApi,
+        };
+        let certifier_shards = [1usize, 2, 4][rng.gen_range(0..3usize)];
+        let workload = if rng.gen_bool(0.5) {
+            HarnessWorkload::AllUpdates
+        } else {
+            HarnessWorkload::TpcB
+        };
+        ScheduleConfig {
+            system,
+            replicas: rng.gen_range(2..=3usize),
+            certifier_shards,
+            workload,
+            clients_per_replica: rng.gen_range(2..=3usize),
+            duration: Duration::from_millis(rng.gen_range(200..=300u64)),
+            faults: rng.gen_range(2..=4usize),
+            version_step: rng.gen_range(15..=40u64),
+        }
+    }
+
+    /// The cluster configuration this schedule runs on.
+    #[must_use]
+    pub fn cluster_config(&self) -> ClusterConfig {
+        let mut config = ClusterConfig::small(self.system);
+        config.replicas = self.replicas;
+        config.certifier_shards = self.certifier_shards;
+        config.clients_per_replica = self.clients_per_replica;
+        config
+    }
+
+    /// The plan-generation bounds matching this cluster shape.
+    #[must_use]
+    pub fn plan_config(&self) -> PlanConfig {
+        let cluster = self.cluster_config();
+        let mut plan = PlanConfig::for_cluster(
+            self.replicas,
+            self.certifier_shards,
+            cluster.certifiers,
+        );
+        plan.faults = self.faults;
+        plan.version_step = self.version_step;
+        plan
+    }
+}
+
+/// The result of one executed-and-verified schedule.
+#[derive(Debug)]
+pub struct ScheduleOutcome {
+    /// The seed the schedule came from (0 for hand-built plans).
+    pub seed: u64,
+    /// The configuration the schedule ran under.
+    pub config: ScheduleConfig,
+    /// The plan that was executed.
+    pub plan: FaultPlan,
+    /// The executed events with resolved victims.
+    pub trace: ExecutionTrace,
+    /// The workload's driver report.
+    pub report: DriverReport,
+    /// Invariant violations (empty = the schedule passed).
+    pub violations: Vec<Violation>,
+}
+
+impl ScheduleOutcome {
+    /// `true` if every invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The one-line replay recipe printed for failing schedules.
+    #[must_use]
+    pub fn replay_hint(&self) -> String {
+        format!(
+            "FAULT_SEED={:#x} cargo test --test fault_schedules -- --nocapture",
+            self.seed
+        )
+    }
+}
+
+impl std::fmt::Display for ScheduleOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "schedule seed {:#x}: {} on {} ({} replicas, {} shard(s)) — {} commits, {} faults, {}",
+            self.seed,
+            match self.config.workload {
+                HarnessWorkload::AllUpdates => "AllUpdates",
+                HarnessWorkload::TpcB => "TPC-B",
+            },
+            self.config.system,
+            self.config.replicas,
+            self.config.certifier_shards,
+            self.report.committed,
+            self.plan.fault_count(),
+            if self.passed() { "PASS" } else { "FAIL" },
+        )?;
+        if !self.passed() {
+            write!(f, "{}", self.plan)?;
+            for violation in &self.violations {
+                writeln!(f,"  {violation}")?;
+            }
+            writeln!(f, "  replay: {}", self.replay_hint())?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one explicit plan under an explicit configuration.
+///
+/// Builds a fresh cluster, starts the fault injector, drives the workload
+/// with resilient closed-loop clients, heals the cluster, and runs the
+/// invariant oracle.
+///
+/// # Panics
+///
+/// Panics if the cluster configuration is invalid (harness configurations
+/// are constructed valid) or the injector thread panics.
+#[must_use]
+pub fn run_plan(seed: u64, config: &ScheduleConfig, plan: &FaultPlan) -> ScheduleOutcome {
+    let cluster = Arc::new(Cluster::new(config.cluster_config()).expect("valid configuration"));
+    let workload = config.workload.build();
+    workload.setup(&cluster);
+
+    let injector = FaultExecutor::new(Arc::clone(&cluster), plan.clone()).start();
+    let report = run_driver(
+        &cluster,
+        &workload,
+        &DriverConfig {
+            clients_per_replica: config.clients_per_replica,
+            duration: config.duration,
+            seed: seed ^ 0x5EED_0BAD_F00D,
+            resilient: true,
+        },
+    );
+    let (trace, mut violations) = match injector.finish() {
+        Ok(trace) => (trace, Vec::new()),
+        Err(e) => (
+            ExecutionTrace::default(),
+            vec![Violation {
+                invariant: "executor",
+                detail: format!("fault execution failed: {e}"),
+            }],
+        ),
+    };
+    let invariant = config.workload.invariant();
+    violations.extend(check_cluster(&cluster, invariant.as_deref()));
+    ScheduleOutcome {
+        seed,
+        config: config.clone(),
+        plan: plan.clone(),
+        trace,
+        report,
+        violations,
+    }
+}
+
+/// Runs the seed's schedule end to end: configuration, plan, execution,
+/// oracle.
+#[must_use]
+pub fn run_schedule(seed: u64) -> ScheduleOutcome {
+    let config = ScheduleConfig::from_seed(seed);
+    let plan = FaultPlan::generate(seed, &config.plan_config());
+    run_plan(seed, &config, &plan)
+}
+
+/// Shrinks a failing schedule to the smallest fault subsequence that still
+/// fails, re-executing candidate plans on fresh clusters.
+///
+/// Expensive (one full schedule run per candidate); called only when a
+/// schedule has already failed, to sharpen the report.
+#[must_use]
+pub fn shrink_failure(outcome: &ScheduleOutcome) -> Minimized {
+    let config = outcome.config.clone();
+    let seed = outcome.seed;
+    minimize(&outcome.plan, move |candidate| {
+        !run_plan(seed, &config, candidate).passed()
+    })
+}

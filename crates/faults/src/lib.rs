@@ -1,0 +1,51 @@
+//! Deterministic fault-schedule harness for the Tashkent reproduction.
+//!
+//! The paper's core claim is that uniting durability with transaction
+//! ordering survives failures of replicas *and* certifier nodes.  This
+//! crate turns that claim into a soak target: seeded, replayable
+//! crash/recover schedules executed against a live [`tashkent::Cluster`]
+//! under load, with an invariant oracle that checks after every schedule
+//! that nothing was lost, duplicated, reordered or diverged.
+//!
+//! The pieces:
+//!
+//! * [`plan`] — [`FaultPlan`]: a seeded generator of randomized,
+//!   quorum-safe schedules over replicas and certifier shard nodes
+//!   (leader- and follower-targeted, overlapping and cascading), with
+//!   injection points anchored to commit versions so the same seed replays
+//!   the same schedule.
+//! * [`executor`] — [`FaultExecutor`]: fires the plan against a live
+//!   cluster while a workload runs, resolving leader/follower picks at
+//!   crash time and healing the cluster afterwards.
+//! * [`oracle`] — [`check_cluster`]: convergence, dense gap-free commit
+//!   history, record-for-record durable-log agreement, durable coverage,
+//!   replica content agreement and workload conservation laws.
+//! * [`minimize`] — [`minimize()`](minimize::minimize): greedy shrinking of
+//!   a failing schedule to the smallest still-failing fault subsequence.
+//! * [`harness`] — [`run_schedule`]: one seed in, one verified schedule
+//!   out; the entry point of the `fault_schedules` soak/CI test.
+//!
+//! # Replaying a failure
+//!
+//! Every failing schedule prints a single seed.  Re-run it with:
+//!
+//! ```text
+//! FAULT_SEED=0x1234 cargo test --test fault_schedules -- --nocapture
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod harness;
+pub mod minimize;
+pub mod oracle;
+pub mod plan;
+
+pub use executor::{ExecutionTrace, FaultExecutor, FaultInjector, FiredEvent};
+pub use harness::{
+    run_plan, run_schedule, shrink_failure, HarnessWorkload, ScheduleConfig, ScheduleOutcome,
+};
+pub use minimize::{minimize as minimize_plan, Minimized};
+pub use oracle::{check_cluster, TpcBInvariant, Violation, WorkloadInvariant};
+pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultTarget, NodePick, PlanConfig};

@@ -1,0 +1,112 @@
+//! Greedy schedule minimization: shrink a failing plan to the smallest
+//! fault subsequence that still fails.
+//!
+//! The minimizer repeatedly tries dropping one crash/recover pair and
+//! re-runs the schedule; a removal is kept whenever the reduced plan still
+//! fails.  It converges to a plan from which no single pair can be removed
+//! — a local minimum, which in practice is the one or two faults that
+//! actually interact.  The re-run predicate is a closure so the minimizer
+//! is equally usable against a live cluster (expensive, exact) or a model
+//! (tests).
+
+use crate::plan::FaultPlan;
+
+/// Outcome of a minimization.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The smallest still-failing plan found.
+    pub plan: FaultPlan,
+    /// Schedule executions spent shrinking.
+    pub runs: usize,
+}
+
+/// Greedily shrinks `plan`, keeping any single-pair removal after which
+/// `still_fails` returns `true`.
+///
+/// `still_fails` receives a candidate plan and must re-execute the schedule
+/// (non-determinism of a live cluster means a flaky failure may survive
+/// minimization only probabilistically; run the predicate's schedule more
+/// than once for confidence if needed).
+pub fn minimize(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> Minimized {
+    let mut current = plan.clone();
+    let mut runs = 0;
+    loop {
+        let mut reduced = false;
+        for fault in current.fault_ids() {
+            let candidate = current.without_fault(fault);
+            runs += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return Minimized {
+                plan: current,
+                runs,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tashkent::ShardId;
+    use tashkent_common::Version;
+
+    use crate::plan::{FaultAction, FaultPlan, FaultTarget, NodePick, PlanConfig};
+
+    use super::*;
+
+    /// A model failure that needs faults on replica 1 *and* shard 0's
+    /// leader to manifest.
+    fn fails(plan: &FaultPlan) -> bool {
+        let mut hit_replica = false;
+        let mut hit_leader = false;
+        for event in &plan.events {
+            if let FaultAction::Crash { target, .. } = event.action {
+                match target {
+                    FaultTarget::Replica(1) => hit_replica = true,
+                    FaultTarget::CertifierNode {
+                        shard: ShardId(0),
+                        pick: NodePick::Leader,
+                    } => hit_leader = true,
+                    _ => {}
+                }
+            }
+        }
+        hit_replica && hit_leader
+    }
+
+    #[test]
+    fn shrinks_to_the_interacting_pair() {
+        let mut config = PlanConfig::for_cluster(3, 2, 3);
+        config.faults = 10;
+        // Find a seed whose schedule contains the interacting pair.
+        let plan = (0..200u64)
+            .map(|seed| FaultPlan::generate(seed, &config))
+            .find(fails)
+            .expect("some 10-fault schedule hits both targets");
+        let minimized = minimize(&plan, fails);
+        assert!(fails(&minimized.plan));
+        assert_eq!(
+            minimized.plan.fault_count(),
+            2,
+            "exactly the interacting pair survives:\n{}",
+            minimized.plan
+        );
+        assert!(minimized.runs > 0);
+    }
+
+    #[test]
+    fn passing_plan_is_a_fixed_point() {
+        let plan = FaultPlan::single(
+            FaultTarget::Replica(0),
+            Version(1),
+            Version(2),
+        );
+        let minimized = minimize(&plan, |_| false);
+        assert_eq!(minimized.plan, plan);
+    }
+}

@@ -1,0 +1,443 @@
+//! Fault plans: seeded, replayable crash/recover schedules.
+//!
+//! A [`FaultPlan`] is a list of [`FaultEvent`]s, each pinned to a
+//! *version-threshold injection point*: the executor fires an event once the
+//! cluster's global commit version reaches `at_version`.  Anchoring
+//! injection points to commit versions — not wall-clock time — is what makes
+//! a schedule replayable: two runs of the same plan inject each fault at the
+//! same logical position in the commit history, regardless of how fast the
+//! machine happens to run.
+//!
+//! Plans are generated from a seed by [`FaultPlan::generate`] under
+//! *quorum-safety constraints*: at every point of the schedule each
+//! certifier shard group keeps a majority of nodes up (so certification can
+//! always make progress and a recovery donor always exists) and at least one
+//! replica stays up (so load keeps flowing).  Within those bounds the
+//! generator freely overlaps faults — several shards down at once, a replica
+//! and a certifier node down together, repeated crashes of the same target —
+//! and targets shard *leaders* as well as followers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tashkent::ShardId;
+use tashkent_common::Version;
+
+/// How a certifier-node fault picks its victim within the shard group.
+///
+/// Picks are resolved by the executor at crash time against the group's
+/// *current* membership, so a plan can say "the leader, whoever that is by
+/// then" — and still replay deterministically, because leadership and
+/// up/down state only change through the plan's own earlier events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodePick {
+    /// The shard group's current leader — the worst node to lose.
+    Leader,
+    /// The `k`-th currently-up non-leader node (modulo the follower count).
+    Follower(usize),
+}
+
+/// What a fault hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A database replica, by index.
+    Replica(usize),
+    /// A node of one certifier shard's replicated group (the unsharded
+    /// certifier is addressed as shard 0).
+    CertifierNode {
+        /// The shard whose group is hit.
+        shard: ShardId,
+        /// Which node of the group.
+        pick: NodePick,
+    },
+}
+
+impl std::fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultTarget::Replica(r) => write!(f, "replica-{r}"),
+            FaultTarget::CertifierNode { shard, pick } => match pick {
+                NodePick::Leader => write!(f, "{shard}-leader"),
+                NodePick::Follower(k) => write!(f, "{shard}-follower-{k}"),
+            },
+        }
+    }
+}
+
+/// One step of a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Crash the target.  `fault` identifies the crash/recover pair.
+    Crash {
+        /// Identifier pairing this crash with its recover event.
+        fault: usize,
+        /// What to crash.
+        target: FaultTarget,
+    },
+    /// Recover the target crashed by fault `fault`.
+    Recover {
+        /// The crash this event undoes.
+        fault: usize,
+    },
+}
+
+/// A fault action pinned to its injection point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Fire once the cluster's system version reaches this threshold.
+    pub at_version: Version,
+    /// What to do.
+    pub action: FaultAction,
+}
+
+/// Bounds on schedule generation.
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    /// Replicas in the cluster the plan targets.
+    pub replicas: usize,
+    /// Certifier shards (1 for the unsharded certifier).
+    pub certifier_shards: usize,
+    /// Nodes per certifier shard group.
+    pub nodes_per_shard: usize,
+    /// Number of crash/recover fault pairs to draw.
+    pub faults: usize,
+    /// Maximum commit-version gap between consecutive events (each gap is
+    /// drawn uniformly from `1..=version_step`).
+    pub version_step: u64,
+    /// Allow replica faults.
+    pub target_replicas: bool,
+    /// Allow certifier-node faults.
+    pub target_certifiers: bool,
+}
+
+impl PlanConfig {
+    /// A configuration matching a cluster shape, with default fault counts.
+    #[must_use]
+    pub fn for_cluster(replicas: usize, certifier_shards: usize, nodes_per_shard: usize) -> Self {
+        PlanConfig {
+            replicas,
+            certifier_shards,
+            nodes_per_shard,
+            faults: 3,
+            version_step: 30,
+            target_replicas: true,
+            target_certifiers: true,
+        }
+    }
+
+    /// Most certifier nodes of one shard group that may be down at once
+    /// while keeping a majority up (quorum safety).
+    #[must_use]
+    pub fn max_down_per_shard(&self) -> usize {
+        self.nodes_per_shard - (self.nodes_per_shard / 2 + 1)
+    }
+}
+
+/// A complete, replayable fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    /// Events in ascending `at_version` order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (useful as a minimizer fixed point and for baseline
+    /// no-fault runs of the harness).
+    #[must_use]
+    pub fn empty() -> Self {
+        FaultPlan {
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// A hand-built single-fault plan: crash `target` at `crash_at`, recover
+    /// it at `recover_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recover_at < crash_at`.
+    #[must_use]
+    pub fn single(target: FaultTarget, crash_at: Version, recover_at: Version) -> Self {
+        assert!(crash_at <= recover_at, "recover must not precede crash");
+        FaultPlan {
+            seed: 0,
+            events: vec![
+                FaultEvent {
+                    at_version: crash_at,
+                    action: FaultAction::Crash { fault: 0, target },
+                },
+                FaultEvent {
+                    at_version: recover_at,
+                    action: FaultAction::Recover { fault: 0 },
+                },
+            ],
+        }
+    }
+
+    /// Draws a randomized quorum-safe schedule from a seeded RNG.
+    ///
+    /// The same `(seed, config)` always yields the identical plan — same
+    /// victims, same injection points — which is the replay contract failing
+    /// schedules print.
+    #[must_use]
+    pub fn generate(seed: u64, config: &PlanConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_down = config.max_down_per_shard();
+        let mut replica_down = vec![false; config.replicas];
+        let mut shard_down = vec![0usize; config.certifier_shards];
+        // Open faults awaiting their recover event.
+        let mut open: Vec<(usize, FaultTarget)> = Vec::new();
+        let mut events = Vec::new();
+        let mut version = 0u64;
+        let mut next_fault = 0usize;
+
+        let bump = |rng: &mut StdRng, version: &mut u64| {
+            *version += rng.gen_range(1..=config.version_step.max(1));
+            Version(*version)
+        };
+
+        while next_fault < config.faults || !open.is_empty() {
+            // Enumerate legal crash targets under the quorum-safety bounds.
+            let mut crashable: Vec<FaultTarget> = Vec::new();
+            if next_fault < config.faults {
+                if config.target_replicas {
+                    let up = replica_down.iter().filter(|d| !**d).count();
+                    if up > 1 {
+                        crashable.extend(
+                            replica_down
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, down)| !**down)
+                                .map(|(r, _)| FaultTarget::Replica(r)),
+                        );
+                    }
+                }
+                if config.target_certifiers {
+                    for (s, down) in shard_down.iter().enumerate() {
+                        if *down < max_down {
+                            crashable.push(FaultTarget::CertifierNode {
+                                shard: ShardId(s as u32),
+                                pick: NodePick::Leader, // placeholder, drawn below
+                            });
+                        }
+                    }
+                }
+            }
+            // Choose between opening a new fault and closing an open one.
+            // Recover pressure grows with the number of open faults so
+            // schedules overlap without staying degraded forever.
+            let crash = !crashable.is_empty()
+                && (open.is_empty() || rng.gen_range(0..open.len() + 2) < 2);
+            if crash {
+                let mut target = crashable[rng.gen_range(0..crashable.len())];
+                if let FaultTarget::CertifierNode { shard, ref mut pick } = target {
+                    // Half the certifier faults hit the current leader, the
+                    // rest a follower drawn by rank among the up non-leaders.
+                    *pick = if rng.gen_bool(0.5) {
+                        NodePick::Leader
+                    } else {
+                        NodePick::Follower(rng.gen_range(0..config.nodes_per_shard))
+                    };
+                    shard_down[shard.index()] += 1;
+                } else if let FaultTarget::Replica(r) = target {
+                    replica_down[r] = true;
+                }
+                events.push(FaultEvent {
+                    at_version: bump(&mut rng, &mut version),
+                    action: FaultAction::Crash {
+                        fault: next_fault,
+                        target,
+                    },
+                });
+                open.push((next_fault, target));
+                next_fault += 1;
+            } else if !open.is_empty() {
+                let (fault, target) = open.remove(rng.gen_range(0..open.len()));
+                match target {
+                    FaultTarget::Replica(r) => replica_down[r] = false,
+                    FaultTarget::CertifierNode { shard, .. } => {
+                        shard_down[shard.index()] -= 1;
+                    }
+                }
+                events.push(FaultEvent {
+                    at_version: bump(&mut rng, &mut version),
+                    action: FaultAction::Recover { fault },
+                });
+            } else {
+                // No legal crash and nothing to recover: the configuration
+                // admits no faults (e.g. single-node groups with replica
+                // targeting off).
+                break;
+            }
+        }
+        FaultPlan { seed, events }
+    }
+
+    /// The fault-pair identifiers present in the plan, in crash order.
+    #[must_use]
+    pub fn fault_ids(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.action {
+                FaultAction::Crash { fault, .. } => Some(fault),
+                FaultAction::Recover { .. } => None,
+            })
+            .collect()
+    }
+
+    /// The plan with one crash/recover pair removed (schedule
+    /// minimization).
+    #[must_use]
+    pub fn without_fault(&self, fault: usize) -> Self {
+        FaultPlan {
+            seed: self.seed,
+            events: self
+                .events
+                .iter()
+                .filter(|e| match e.action {
+                    FaultAction::Crash { fault: f, .. } | FaultAction::Recover { fault: f } => {
+                        f != fault
+                    }
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Number of crash/recover pairs.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.fault_ids().len()
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "fault plan (seed {:#x}):", self.seed)?;
+        let mut targets: Vec<Option<FaultTarget>> = Vec::new();
+        for event in &self.events {
+            match event.action {
+                FaultAction::Crash { fault, target } => {
+                    if targets.len() <= fault {
+                        targets.resize(fault + 1, None);
+                    }
+                    targets[fault] = Some(target);
+                    writeln!(f, "  v>={:<6} crash   #{fault} {target}", event.at_version.value())?;
+                }
+                FaultAction::Recover { fault } => {
+                    let target = targets
+                        .get(fault)
+                        .copied()
+                        .flatten()
+                        .map_or_else(|| "?".to_owned(), |t| t.to_string());
+                    writeln!(f, "  v>={:<6} recover #{fault} {target}", event.at_version.value())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> PlanConfig {
+        PlanConfig::for_cluster(3, 2, 3)
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        for seed in [1u64, 42, 0xDEAD_BEEF] {
+            let a = FaultPlan::generate(seed, &config());
+            let b = FaultPlan::generate(seed, &config());
+            assert_eq!(a, b, "seed {seed:#x} must replay identically");
+            assert_eq!(a.fault_count(), config().faults);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(1, &config());
+        let b = FaultPlan::generate(2, &config());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn schedules_are_quorum_safe_and_paired() {
+        let mut config = config();
+        config.faults = 12;
+        for seed in 0..50u64 {
+            let plan = FaultPlan::generate(seed, &config);
+            let mut replica_down = vec![false; config.replicas];
+            let mut shard_down = vec![0usize; config.certifier_shards];
+            let mut open: std::collections::HashMap<usize, FaultTarget> =
+                std::collections::HashMap::new();
+            let mut last = Version::ZERO;
+            for event in &plan.events {
+                assert!(event.at_version > last, "injection points ascend strictly");
+                last = event.at_version;
+                match event.action {
+                    FaultAction::Crash { fault, target } => {
+                        assert!(open.insert(fault, target).is_none(), "fault ids unique");
+                        match target {
+                            FaultTarget::Replica(r) => {
+                                assert!(!replica_down[r], "no double crash");
+                                replica_down[r] = true;
+                                let up = replica_down.iter().filter(|d| !**d).count();
+                                assert!(up >= 1, "at least one replica stays up");
+                            }
+                            FaultTarget::CertifierNode { shard, .. } => {
+                                shard_down[shard.index()] += 1;
+                                assert!(
+                                    shard_down[shard.index()] <= config.max_down_per_shard(),
+                                    "shard {shard} keeps its majority"
+                                );
+                            }
+                        }
+                    }
+                    FaultAction::Recover { fault } => {
+                        let target = open.remove(&fault).expect("recover pairs with a crash");
+                        match target {
+                            FaultTarget::Replica(r) => replica_down[r] = false,
+                            FaultTarget::CertifierNode { shard, .. } => {
+                                shard_down[shard.index()] -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(open.is_empty(), "every crash is recovered by plan end");
+            assert_eq!(plan.fault_count(), config.faults);
+        }
+    }
+
+    #[test]
+    fn without_fault_drops_both_events() {
+        let plan = FaultPlan::generate(7, &config());
+        let ids = plan.fault_ids();
+        let reduced = plan.without_fault(ids[0]);
+        assert_eq!(reduced.fault_count(), plan.fault_count() - 1);
+        assert_eq!(reduced.events.len(), plan.events.len() - 2);
+        assert!(!reduced.fault_ids().contains(&ids[0]));
+    }
+
+    #[test]
+    fn single_node_groups_admit_no_certifier_faults() {
+        let mut config = PlanConfig::for_cluster(2, 1, 1);
+        config.target_replicas = false;
+        let plan = FaultPlan::generate(3, &config);
+        assert!(plan.events.is_empty());
+    }
+
+    #[test]
+    fn display_renders_every_event() {
+        let plan = FaultPlan::generate(9, &config());
+        let text = plan.to_string();
+        assert!(text.contains("crash"));
+        assert!(text.contains("recover"));
+        assert!(text.contains("seed 0x9"));
+    }
+}

@@ -15,7 +15,7 @@ use tashkent_certifier::{
     CertificationRequest, CertificationResponse, Certifier, CertifierNodeId, CertifierStats,
     RemoteWriteSet, ShardedCertifier,
 };
-use tashkent_common::{Result, Version};
+use tashkent_common::{Result, ShardId, Version, WriteSet};
 
 /// A cheaply-cloneable handle to the cluster's certification service.
 #[derive(Clone)]
@@ -127,6 +127,119 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.stats(),
             CertifierHandle::Sharded(c) => c.stats().aggregate(),
+        }
+    }
+
+    /// Number of certification shards (1 for the unsharded certifier).
+    ///
+    /// Together with the `shard_*` methods below this gives fault injectors
+    /// one uniform, shard-addressed view of the certification service: the
+    /// unsharded certifier is addressed as the single shard `ShardId(0)`.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        match self {
+            CertifierHandle::Single(_) => 1,
+            CertifierHandle::Sharded(c) => c.shard_count(),
+        }
+    }
+
+    /// Total number of nodes in each shard's replicated group.
+    #[must_use]
+    pub fn nodes_per_shard(&self) -> usize {
+        match self {
+            CertifierHandle::Single(c) => c.node_count(),
+            CertifierHandle::Sharded(c) => c.nodes_per_shard(),
+        }
+    }
+
+    /// The current leader of one shard's replicated group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard_leader(&self, shard: ShardId) -> CertifierNodeId {
+        match self {
+            CertifierHandle::Single(c) => {
+                assert_eq!(shard, ShardId(0), "unsharded certifier has one shard");
+                c.leader()
+            }
+            CertifierHandle::Sharded(c) => c.shard_leader(shard),
+        }
+    }
+
+    /// The up nodes of one shard's replicated group, in node-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard_up_nodes(&self, shard: ShardId) -> Vec<CertifierNodeId> {
+        match self {
+            CertifierHandle::Single(c) => {
+                assert_eq!(shard, ShardId(0), "unsharded certifier has one shard");
+                c.up_nodes()
+            }
+            CertifierHandle::Sharded(c) => c.shard_up_nodes(shard),
+        }
+    }
+
+    /// Crashes one node of one shard's replicated group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn crash_shard_node(&self, shard: ShardId, node: CertifierNodeId) {
+        match self {
+            CertifierHandle::Single(c) => {
+                assert_eq!(shard, ShardId(0), "unsharded certifier has one shard");
+                c.crash_node(node);
+            }
+            CertifierHandle::Sharded(c) => c.crash_shard_node(shard, node),
+        }
+    }
+
+    /// Recovers one node of one shard's replicated group via state transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`tashkent_common::Error::Unavailable`] if the shard has no
+    /// up node to donate its log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn recover_shard_node(&self, shard: ShardId, node: CertifierNodeId) -> Result<()> {
+        match self {
+            CertifierHandle::Single(c) => {
+                assert_eq!(shard, ShardId(0), "unsharded certifier has one shard");
+                c.recover_node(node)
+            }
+            CertifierHandle::Sharded(c) => c.recover_shard_node(shard, node),
+        }
+    }
+
+    /// Reads the durable log of one node of one shard's group (the
+    /// fault-schedule oracle compares these record-for-record).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors and unknown-node errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_durable_entries(
+        &self,
+        shard: ShardId,
+        node: CertifierNodeId,
+    ) -> Result<Vec<(Version, WriteSet)>> {
+        match self {
+            CertifierHandle::Single(c) => {
+                assert_eq!(shard, ShardId(0), "unsharded certifier has one shard");
+                c.durable_entries(node)
+            }
+            CertifierHandle::Sharded(c) => c.shard_durable_entries(shard, node),
         }
     }
 

@@ -13,8 +13,9 @@
 
 use std::sync::Arc;
 
-use tashkent_common::{Error, Result};
+use tashkent_common::{Error, Result, Version};
 use tashkent_storage::disk::LogDevice;
+use tashkent_storage::wal::WalRecord;
 use tashkent_storage::{Database, DatabaseDump, EngineConfig};
 
 use crate::fanout::CertifierHandle;
@@ -50,6 +51,21 @@ pub fn catch_up(db: &Database, certifier: &CertifierHandle) -> Result<usize> {
 /// Recovers a Base or Tashkent-API replica from its durable WAL and brings it
 /// up to date from the certifier.
 ///
+/// `baseline` is the image of state that never went through the WAL (the
+/// bulk-loaded initial database, standing in for a real engine's data
+/// pages); WAL redo replays on top of it.  Pass `None` for a replica whose
+/// entire state went through transactions.
+///
+/// The WAL is only trusted up to its **dense frontier** — the highest
+/// version `f` such that every version in `(baseline, f]` has its own
+/// durable record.  Beyond the frontier a version gap is ambiguous: it is
+/// either a grouped install (one record covering a whole batch, harmless)
+/// or a record lost to the crash (group commit fsyncs records out of
+/// version order, so a lost record can sit *below* durable ones).  The
+/// certifier log still holds every certified writeset, so everything past
+/// the frontier is re-fetched from there in global order instead of being
+/// guessed from the log.
+///
 /// Returns the recovered database and the number of writesets re-applied
 /// during catch-up.
 ///
@@ -60,9 +76,32 @@ pub fn recover_base_or_api_replica(
     config: EngineConfig,
     device: Arc<dyn LogDevice>,
     schema: &[(&str, Vec<&str>)],
+    baseline: Option<&DatabaseDump>,
     certifier: &CertifierHandle,
 ) -> Result<(Database, usize)> {
-    let db = Database::recover(config, device, schema)?;
+    let base = baseline.map_or(Version::ZERO, DatabaseDump::version);
+    let mut versions: Vec<Version> = WalRecord::decode_all(&device.durable_contents())?
+        .iter()
+        .filter_map(|record| match record {
+            WalRecord::Commit { version, .. } => Some(*version),
+            WalRecord::Checkpoint { .. } => None,
+        })
+        .collect();
+    versions.sort_unstable();
+    versions.dedup();
+    let mut frontier = base;
+    for version in versions {
+        if version <= frontier {
+            continue;
+        }
+        if version == frontier.next() {
+            frontier = version;
+        } else {
+            break;
+        }
+    }
+    let db =
+        Database::recover_with_baseline(config, device, schema, baseline, Some(frontier))?;
     let applied = catch_up(&db, certifier)?;
     Ok((db, applied))
 }
@@ -168,6 +207,7 @@ mod tests {
             EngineConfig::default(),
             db.log_device(),
             &[("t", vec!["x"])],
+            None,
             &certifier,
         )
         .unwrap();

@@ -272,3 +272,93 @@ fn certifier_outage_surfaces_as_unavailable() {
     assert!(tx.read(table, 1).unwrap().is_some());
     tx.commit().unwrap();
 }
+
+/// A declined serial grouped install is a typed `Ok(None)` with **no side
+/// effects**: `refresh` on a replica with an outstanding order index must
+/// leave every piece of proxy and engine state untouched (PR 1's fix,
+/// previously pinned only by stress runs).
+#[test]
+fn declined_grouped_install_has_no_side_effects() {
+    let certifier = Arc::new(Certifier::new(CertifierConfig::default()));
+    let a = make_replica(SystemKind::TashkentApi, 0, &certifier);
+    let b = make_replica(SystemKind::TashkentApi, 1, &certifier);
+
+    // Replica A commits a backlog replica B has not seen.
+    for key in 1..=5 {
+        deposit(&a, key, 10 * key).unwrap();
+    }
+    // Simulate an in-flight ordered commit on B that will never announce
+    // (the state a crash or wound leaves behind).
+    b.debug_burn_order_index();
+
+    let version_before = b.replica_version();
+    let db_version_before = b.database().version();
+    let stats_before = b.stats();
+    // The install must decline: ordered commits are (apparently)
+    // outstanding, and a grouped install jumping over them would misorder
+    // row chains.
+    assert_eq!(b.refresh().unwrap(), 0);
+    assert_eq!(b.replica_version(), version_before, "no scheduling advance");
+    assert_eq!(b.database().version(), db_version_before, "no engine writes");
+    let stats_after = b.stats();
+    assert_eq!(stats_after.refreshes, stats_before.refreshes, "not counted as a refresh");
+    assert_eq!(stats_after.remote_writesets_applied, stats_before.remote_writesets_applied);
+}
+
+/// `resync` force-fills outstanding order indices inside the install's
+/// critical section: recovery makes progress even when an index was burned
+/// by a failed pipeline, and the replica is fully usable afterwards.
+#[test]
+fn resync_force_fills_burned_order_indices() {
+    let certifier = Arc::new(Certifier::new(CertifierConfig::default()));
+    let a = make_replica(SystemKind::TashkentApi, 0, &certifier);
+    let b = make_replica(SystemKind::TashkentApi, 1, &certifier);
+
+    for key in 1..=5 {
+        deposit(&a, key, 10 * key).unwrap();
+    }
+    b.debug_burn_order_index();
+    assert_eq!(b.refresh().unwrap(), 0, "declined while the index is outstanding");
+
+    // Soft recovery burns the stale index and applies the whole backlog.
+    let applied = b.resync().unwrap();
+    assert_eq!(applied, 5);
+    assert_eq!(b.replica_version(), Version(5));
+    assert_eq!(b.database().version(), Version(5));
+    for key in 1..=5 {
+        assert_eq!(balance(&b, key), 10 * key, "key {key}");
+    }
+    assert_eq!(b.stats().resyncs, 1);
+
+    // The ordered-commit bookkeeping is consistent again: both replicas
+    // keep committing and converging.
+    deposit(&b, 6, 60).unwrap();
+    deposit(&a, 7, 70).unwrap();
+    b.refresh().unwrap();
+    a.refresh().unwrap();
+    assert_eq!(a.replica_version(), Version(7));
+    assert_eq!(b.replica_version(), Version(7));
+    assert_eq!(balance(&a, 6), 60);
+    assert_eq!(balance(&b, 7), 70);
+}
+
+/// While an index is outstanding the decline path must also hold for the
+/// staleness-driven `maybe_refresh`, and `last_contact` must keep ticking
+/// so the next refresh retries promptly instead of believing the replica
+/// is fresh.
+#[test]
+fn declined_refresh_keeps_the_staleness_clock_running() {
+    let certifier = Arc::new(Certifier::new(CertifierConfig::default()));
+    let a = make_replica(SystemKind::TashkentApi, 0, &certifier);
+    let b = make_replica(SystemKind::TashkentApi, 1, &certifier);
+
+    deposit(&a, 1, 100).unwrap();
+    b.debug_burn_order_index();
+    assert_eq!(b.refresh().unwrap(), 0);
+    // A second refresh still declines (the decline did not update
+    // last_contact, so the replica still knows it is stale), and resync
+    // still recovers.
+    assert_eq!(b.refresh().unwrap(), 0);
+    assert_eq!(b.resync().unwrap(), 1);
+    assert_eq!(balance(&b, 1), 100);
+}

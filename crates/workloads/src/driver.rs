@@ -22,6 +22,13 @@ pub struct DriverConfig {
     pub duration: Duration,
     /// Random seed (each client derives its own stream from it).
     pub seed: u64,
+    /// Keep clients alive across component outages: on a non-retryable
+    /// error (crashed replica, lost certifier majority) the client backs
+    /// off briefly and retries instead of stopping for good.  Fault-
+    /// injection harnesses set this so load resumes when the component
+    /// recovers; performance runs leave it off so an unexpected fault is
+    /// loud.
+    pub resilient: bool,
 }
 
 impl Default for DriverConfig {
@@ -30,6 +37,7 @@ impl Default for DriverConfig {
             clients_per_replica: 2,
             duration: Duration::from_millis(300),
             seed: 0x7A5B_2001,
+            resilient: false,
         }
     }
 }
@@ -43,8 +51,18 @@ pub struct DriverReport {
     pub read_only: u64,
     /// Aborted transactions (retryable conflicts).
     pub aborted: u64,
-    /// Measured wall-clock duration.
+    /// Transactions that failed on an unavailable component while
+    /// [`DriverConfig::resilient`] was set (the client backed off and
+    /// retried).
+    pub outage_errors: u64,
+    /// Total wall-clock duration, from the first client starting to the
+    /// last client joined: the measurement window *plus* the shutdown tail.
     pub elapsed: Duration,
+    /// The shutdown tail alone: how long after the stop signal the last
+    /// client took to finish its in-flight transaction and exit.  Recorded
+    /// separately from the measurement window because Tashkent-API drains
+    /// in-flight ordered commits slowly (see ROADMAP, "shutdown tail").
+    pub drain: Duration,
     /// Response-time distribution of committed transactions.
     pub latency: LatencyHistogram,
 }
@@ -83,6 +101,7 @@ pub fn run_driver(cluster: &Arc<Cluster>, workload: &Arc<dyn Workload>, config: 
                 .seed
                 .wrapping_add(client_id.0)
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let resilient = config.resilient;
             handles.push(thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut report = DriverReport::default();
@@ -98,6 +117,15 @@ pub fn run_driver(cluster: &Arc<Cluster>, workload: &Arc<dyn Workload>, config: 
                             report.latency.record(begun.elapsed());
                         }
                         Err(e) if e.is_retryable_abort() => report.aborted += 1,
+                        Err(e) if resilient && e.is_unavailable() => {
+                            // A component is down (fault injection): back
+                            // off and retry until it recovers or the run
+                            // ends.  Only outage errors are absorbed —
+                            // anything else (corruption, protocol bugs) is
+                            // a real failure and still stops the client.
+                            report.outage_errors += 1;
+                            thread::sleep(Duration::from_millis(1));
+                        }
                         Err(_) => break,
                     }
                     // Closed-loop think time (TPC-W browsing): the response
@@ -112,16 +140,19 @@ pub fn run_driver(cluster: &Arc<Cluster>, workload: &Arc<dyn Workload>, config: 
     }
     thread::sleep(config.duration);
     stop.store(true, Ordering::Relaxed);
+    let stopped = Instant::now();
     let mut total = DriverReport::default();
     for handle in handles {
         if let Ok(report) = handle.join() {
             total.committed += report.committed;
             total.read_only += report.read_only;
             total.aborted += report.aborted;
+            total.outage_errors += report.outage_errors;
             total.latency.merge(&report.latency);
         }
     }
     total.elapsed = start.elapsed();
+    total.drain = stopped.elapsed();
     total
 }
 
@@ -144,6 +175,7 @@ mod tests {
                 clients_per_replica: 2,
                 duration: Duration::from_millis(200),
                 seed: 7,
+                ..DriverConfig::default()
             },
         );
         assert!(report.committed > 0);
@@ -168,6 +200,7 @@ mod tests {
                 clients_per_replica: 1,
                 duration: Duration::from_millis(200),
                 seed: 8,
+                ..DriverConfig::default()
             },
         );
         assert!(report.committed > 0);

@@ -184,6 +184,9 @@ impl Workload for TpcB {
             db.bulk_load(tellers, teller_rows, tashkent::Version::ZERO);
             db.bulk_load(accounts, account_rows, tashkent::Version::ZERO);
         }
+        // The bulk load bypasses the WAL; seal it as the recovery baseline
+        // so crashed replicas come back with their initial rows.
+        cluster.seal_baseline();
     }
 
     fn run_one(
@@ -310,6 +313,8 @@ impl Workload for TpcW {
             db.bulk_load(items, item_rows, tashkent::Version::ZERO);
             db.bulk_load(customers, customer_rows, tashkent::Version::ZERO);
         }
+        // As for TPC-B: the bulk-loaded catalogue must survive recovery.
+        cluster.seal_baseline();
     }
 
     fn run_one(
@@ -423,6 +428,70 @@ impl TpcWBrowsing {
 impl Workload for TpcWBrowsing {
     fn name(&self) -> &str {
         "TPC-W-browsing"
+    }
+
+    fn setup(&self, cluster: &Cluster) {
+        self.inner.setup(cluster);
+    }
+
+    fn run_one(
+        &self,
+        cluster: &Cluster,
+        replica: usize,
+        client: ClientId,
+        rng: &mut StdRng,
+    ) -> Result<bool> {
+        self.inner.run_one(cluster, replica, client, rng)
+    }
+
+    fn think_time(&self) -> Duration {
+        self.think_time
+    }
+}
+
+/// The TPC-W *shopping* mix with per-interaction think times: the same
+/// bookstore and 80/20 read/update split as [`TpcW`], paced like a real
+/// closed-loop TPC-W emulated browser.
+///
+/// A stub in the sense that it adds nothing to [`TpcW`] but the pacing —
+/// the interaction mix itself is already the shopping mix.  It exists so
+/// the `figures` harness can drive both paper mixes through one interface
+/// (`TpcWBrowsing` / `TpcWShopping`).
+#[derive(Debug, Clone)]
+pub struct TpcWShopping {
+    inner: TpcW,
+    think_time: Duration,
+}
+
+impl Default for TpcWShopping {
+    fn default() -> Self {
+        TpcWShopping::new(Duration::from_millis(2))
+    }
+}
+
+impl TpcWShopping {
+    /// A shopping-mix bookstore with the default catalogue and the given
+    /// think time.
+    #[must_use]
+    pub fn new(think_time: Duration) -> Self {
+        TpcWShopping {
+            inner: TpcW::default(),
+            think_time,
+        }
+    }
+
+    /// Overrides the catalogue size.
+    #[must_use]
+    pub fn with_catalogue(mut self, items: i64, customers: i64) -> Self {
+        self.inner.items = items;
+        self.inner.customers = customers;
+        self
+    }
+}
+
+impl Workload for TpcWShopping {
+    fn name(&self) -> &str {
+        "TPC-W-shopping"
     }
 
     fn setup(&self, cluster: &Cluster) {

@@ -15,4 +15,4 @@ pub mod driver;
 pub mod generators;
 
 pub use driver::{DriverConfig, DriverReport, run_driver};
-pub use generators::{AllUpdates, TpcB, TpcW, TpcWBrowsing, Workload};
+pub use generators::{AllUpdates, TpcB, TpcW, TpcWBrowsing, TpcWShopping, Workload};

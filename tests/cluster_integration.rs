@@ -2,7 +2,6 @@
 //! every system kind, checking convergence, conflict handling and recovery.
 
 use std::sync::Arc;
-use std::thread;
 use std::time::Duration;
 
 use tashkent::{Cluster, ClusterConfig, SystemKind, Value, Version};
@@ -34,6 +33,7 @@ fn allupdates_driver_converges_on_every_system() {
                 clients_per_replica: 3,
                 duration: Duration::from_millis(250),
                 seed: 11,
+                ..DriverConfig::default()
             },
         );
         assert!(report.committed > 0, "system {system}");
@@ -82,6 +82,7 @@ fn tpcb_conflicts_abort_but_invariants_hold_across_replicas() {
                 clients_per_replica: 2,
                 duration: Duration::from_millis(200),
                 seed: 13,
+                ..DriverConfig::default()
             },
         );
         assert!(report.committed > 0, "system {system}");
@@ -122,6 +123,7 @@ fn sharded_cluster_converges_under_tpcb_load() {
                 clients_per_replica: 2,
                 duration: Duration::from_millis(200),
                 seed: 17,
+                ..DriverConfig::default()
             },
         );
         assert!(report.committed > 0, "{shards} shards");
@@ -169,7 +171,8 @@ fn browsing_mix_runs_on_a_sharded_cluster() {
             clients_per_replica: 3,
             duration: Duration::from_millis(250),
             seed: 23,
-        },
+                ..DriverConfig::default()
+            },
     );
     assert!(report.committed > 0);
     // Browsing mix: the vast majority of interactions are read-only and
@@ -185,33 +188,45 @@ fn browsing_mix_runs_on_a_sharded_cluster() {
 /// The crash-fault injection seed (ROADMAP): kill one node of one certifier
 /// shard's replicated group *mid-load*, let the shard fail over, recover the
 /// node via state transfer, and prove no commit was lost or reordered.
+///
+/// Promoted from PR 4's hand-rolled injector thread to a fixed-seed
+/// [`FaultPlan`]: the plan generator (seed 0, certifier-only targeting)
+/// draws exactly the original schedule — crash shard 1's current leader
+/// mid-load, recover it later — and the invariant oracle now performs the
+/// dense-stream, durable-log-agreement, durable-coverage and convergence
+/// checks the test used to hand-roll.
 #[test]
 fn certifier_shard_node_crash_and_recovery_mid_load_loses_nothing() {
     use tashkent::ShardId;
+    use tashkent_faults::{
+        check_cluster, FaultAction, FaultExecutor, FaultPlan, FaultTarget, NodePick, PlanConfig,
+    };
 
     let cluster = sharded_cluster(SystemKind::TashkentApi, 2, 2);
     let workload: Arc<dyn Workload> = Arc::new(AllUpdates::default());
     workload.setup(&cluster);
 
-    let faulted_shard = ShardId(1);
-    let sharded = {
-        let handle = cluster.certifier();
-        Arc::clone(handle.as_sharded().expect("cluster is sharded"))
-    };
-    // Mid-load fault injector: wait for traffic, crash the shard's current
-    // leader (the worst node to lose), hold the outage for a while, then
-    // recover it.
-    let injector = {
-        let sharded = Arc::clone(&sharded);
-        thread::spawn(move || {
-            thread::sleep(Duration::from_millis(60));
-            let victim = sharded.shard_leader(faulted_shard);
-            sharded.crash_shard_node(faulted_shard, victim);
-            thread::sleep(Duration::from_millis(80));
-            sharded.recover_shard_node(faulted_shard, victim).unwrap();
-            victim
-        })
-    };
+    // The fixed-seed plan replays identically run to run: one leader-
+    // targeted crash/recover of shard 1's replicated group.
+    let mut plan_config = PlanConfig::for_cluster(2, 2, 3);
+    plan_config.faults = 1;
+    plan_config.target_replicas = false;
+    let plan = FaultPlan::generate(0, &plan_config);
+    assert!(
+        plan.events.iter().any(|e| matches!(
+            e.action,
+            FaultAction::Crash {
+                target: FaultTarget::CertifierNode {
+                    shard: ShardId(1),
+                    pick: NodePick::Leader,
+                },
+                ..
+            }
+        )),
+        "seed 0 pins the original schedule (shard 1, leader):\n{plan}"
+    );
+
+    let injector = FaultExecutor::new(Arc::clone(&cluster), plan).start();
     let report = run_driver(
         &cluster,
         &workload,
@@ -219,67 +234,27 @@ fn certifier_shard_node_crash_and_recovery_mid_load_loses_nothing() {
             clients_per_replica: 3,
             duration: Duration::from_millis(300),
             seed: 29,
+            resilient: true,
         },
     );
-    let victim = injector.join().unwrap();
+    let trace = injector.finish().unwrap();
 
     // The shard kept a majority throughout, so load never stalled...
     assert!(report.committed > 50, "only {} commits", report.committed);
     assert!(cluster.certifier().is_available());
     // ...and every commit the clients observed is in the certified history.
-    let system = cluster.system_version();
-    assert!(system.value() >= report.committed);
+    assert!(cluster.system_version().value() >= report.committed);
+    // The executor resolved the leader pick and fired both halves.
+    assert_eq!(trace.fired.len(), 2);
+    assert!(trace.fired[0].crash && !trace.fired[1].crash);
+    assert_eq!(trace.fired[0].node, trace.fired[1].node);
 
-    // No lost or reordered commits: the merged stream is exactly the dense,
-    // ascending sequence 1..=system_version.
-    let versions: Vec<u64> = cluster
-        .certifier()
-        .writesets_after(Version::ZERO)
-        .iter()
-        .map(|r| r.commit_version.value())
-        .collect();
-    assert_eq!(versions, (1..=system.value()).collect::<Vec<u64>>());
-
-    // The recovered node's durable log caught up via state transfer: it
-    // holds the same *set* of entries as the shard's leader, including those
-    // certified during its outage.  (Only the set is compared: replicated
-    // appends happen after the in-memory locks are released, so concurrent
-    // appends may land on different nodes' disks in slightly different
-    // order — the commit order itself is the certified stream checked
-    // above, and recovery rebuilds in-memory state by version, not by file
-    // position.)
-    let versions_of = |entries: &[(Version, tashkent::WriteSet)]| -> Vec<u64> {
-        let mut versions: Vec<u64> = entries.iter().map(|(v, _)| v.value()).collect();
-        versions.sort_unstable();
-        versions
-    };
-    let leader = sharded.shard_leader(faulted_shard);
-    let leader_entries = sharded
-        .shard_durable_entries(faulted_shard, leader)
-        .unwrap();
-    let recovered_entries = sharded
-        .shard_durable_entries(faulted_shard, victim)
-        .unwrap();
-    assert!(!recovered_entries.is_empty());
-    assert_eq!(versions_of(&leader_entries), versions_of(&recovered_entries));
-
-    // Across shards, the durable home-shard logs jointly cover the entire
-    // certified history — nothing was lost at the durability layer either.
-    let mut durable_union = Vec::new();
-    for shard in [ShardId(0), ShardId(1)] {
-        let node = sharded.shard_leader(shard);
-        durable_union.extend(versions_of(
-            &sharded.shard_durable_entries(shard, node).unwrap(),
-        ));
-    }
-    durable_union.sort_unstable();
-    assert_eq!(durable_union, (1..=system.value()).collect::<Vec<u64>>());
-
-    // Replicas converge on the full prefix afterwards.
-    cluster.sync_all().unwrap();
-    for (replica, version) in cluster.replica_versions() {
-        assert_eq!(version, cluster.system_version(), "replica {replica}");
-    }
+    // The oracle performs the full battery: dense gap-free stream,
+    // record-for-record durable-log agreement with the shard leader (the
+    // recovered node included), durable home-shard coverage of the whole
+    // history, and replica convergence/agreement.
+    let violations = check_cluster(&cluster, None);
+    assert!(violations.is_empty(), "{violations:?}");
 }
 
 #[test]

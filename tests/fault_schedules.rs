@@ -1,0 +1,90 @@
+//! Randomized multi-fault crash/recover schedules (the fault-schedule
+//! harness's soak entry point, also run as the CI `fault-smoke` step).
+//!
+//! Knobs (environment variables):
+//!
+//! * `FAULT_SCHEDULES=N` — run N randomized schedules (default 5; longer
+//!   local soaks use 50+).
+//! * `FAULT_SEED=0x…` — replay exactly one schedule instead: the
+//!   one-liner reproduction printed by a failing soak.
+//!
+//! A failing schedule prints its plan, the violated invariants, the replay
+//! recipe, and a greedily minimized version of the plan.
+
+use tashkent_faults::{run_schedule, shrink_failure};
+
+/// Base value mixed into per-schedule seeds so consecutive integers do not
+/// produce near-identical xoshiro streams.
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn parse_env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    Some(parsed.unwrap_or_else(|_| panic!("{name}={raw} is not a number")))
+}
+
+fn run_and_report(seed: u64) -> bool {
+    let outcome = run_schedule(seed);
+    print!("{outcome}");
+    if outcome.passed() {
+        return true;
+    }
+    // Sharpen the report: shrink to the smallest still-failing subsequence.
+    let minimized = shrink_failure(&outcome);
+    println!(
+        "minimized to {} fault(s) after {} extra runs:\n{}",
+        minimized.plan.fault_count(),
+        minimized.runs,
+        minimized.plan
+    );
+    false
+}
+
+#[test]
+fn randomized_fault_schedules_hold_every_invariant() {
+    if let Some(seed) = parse_env_u64("FAULT_SEED") {
+        // Replay mode: exactly the failing schedule, nothing else.
+        assert!(run_and_report(seed), "schedule {seed:#x} failed (see above)");
+        return;
+    }
+    let schedules = parse_env_u64("FAULT_SCHEDULES").unwrap_or(5);
+    let mut failed = Vec::new();
+    for i in 0..schedules {
+        let seed = (i + 1).wrapping_mul(SEED_STRIDE);
+        if !run_and_report(seed) {
+            failed.push(seed);
+        }
+    }
+    assert!(
+        failed.is_empty(),
+        "{} of {schedules} schedules failed: {:?} (replay each with FAULT_SEED=<seed>)",
+        failed.len(),
+        failed
+            .iter()
+            .map(|s| format!("{s:#x}"))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// The replay contract: one seed, one schedule.  Two full executions of the
+/// same seed must produce the identical plan *and* resolve the identical
+/// victims at the identical injection points.
+#[test]
+fn fixed_seed_replays_the_identical_schedule() {
+    let seed = 0xFA_57_F0_0D;
+    let first = run_schedule(seed);
+    let second = run_schedule(seed);
+    assert_eq!(first.plan, second.plan, "plans must replay identically");
+    assert_eq!(
+        first.trace.victims(),
+        second.trace.victims(),
+        "resolved victims must replay identically"
+    );
+    assert!(first.passed(), "{first}");
+    assert!(second.passed(), "{second}");
+}
