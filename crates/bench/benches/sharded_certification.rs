@@ -29,7 +29,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use tashkent_certifier::{
     CertificationRequest, ShardedCertifier, ShardedCertifierConfig,
 };
-use tashkent_common::{ReplicaId, TableId, Value, WriteItem, WriteSet};
+use tashkent_common::{MetricsRegistry, ReplicaId, TableId, Value, WriteItem, WriteSet};
 
 const WORKERS: usize = 4;
 const BATCH: u64 = 256;
@@ -145,6 +145,34 @@ fn certify_batch(
     decided.load(Ordering::Relaxed) as u64
 }
 
+/// Metrics overhead check: the same TPC-B trace through the same sharded
+/// certifier, once with the default no-op registry and once with an enabled
+/// one feeding counters, gauges and the durable-stage histogram.  The
+/// observability PR's acceptance bar is that the enabled run certifies
+/// within 5% of the disabled one.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_overhead");
+    // Larger sample than the sharding sweep: the effect being bounded (≤5%)
+    // is smaller than the run-to-run noise of a 4-thread batch, so the
+    // comparison needs the extra samples to converge.
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(BATCH));
+    let trace = Arc::new(tpcb_trace(4096));
+    for (mode, registry) in [
+        ("disabled", MetricsRegistry::disabled()),
+        ("enabled", MetricsRegistry::enabled()),
+    ] {
+        let mut config = ShardedCertifierConfig::with_shards(2);
+        config.base.metrics = Arc::new(registry);
+        let certifier = Arc::new(ShardedCertifier::new(config));
+        let cursor = AtomicUsize::new(0);
+        group.bench_with_input(BenchmarkId::new("tpcb", mode), &mode, |b, _| {
+            b.iter(|| certify_batch(&certifier, &trace, &cursor, START_LAG));
+        });
+    }
+    group.finish();
+}
+
 fn bench_sharded(c: &mut Criterion) {
     let mut group = c.benchmark_group("sharded_certification");
     group.sample_size(12);
@@ -172,5 +200,5 @@ fn bench_sharded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sharded);
+criterion_group!(benches, bench_sharded, bench_metrics_overhead);
 criterion_main!(benches);

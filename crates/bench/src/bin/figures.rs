@@ -7,13 +7,16 @@
 //! cargo run -p tashkent-bench --release --bin figures -- fig4 fig14 grouping
 //! cargo run -p tashkent-bench --release --bin figures -- --quick all
 //! cargo run -p tashkent-bench --release --bin figures -- tpcw-cluster
+//! cargo run -p tashkent-bench --release --bin figures -- metrics
 //! ```
 //!
 //! The `fig*` / table ids replay the calibrated simulator; `tpcw-cluster`
-//! runs the TPC-W browsing and shopping mixes on real in-process clusters
-//! (`all` includes it).
+//! runs the TPC-W browsing and shopping mixes on real in-process clusters,
+//! and `metrics` runs TPC-B on real clusters and prints the commit-path
+//! stage breakdown for every system at 1 and 4 certifier shards (`all`
+//! includes both).
 
-use tashkent_bench::{run_figure, run_tpcw_cluster};
+use tashkent_bench::{run_figure, run_metrics, run_tpcw_cluster};
 use tashkent_sim::FigureId;
 
 fn main() {
@@ -24,17 +27,20 @@ fn main() {
     let all = tokens.is_empty() || tokens.iter().any(|t| t.as_str() == "all");
     let tpcw_cluster =
         all || tokens.iter().any(|t| t.as_str() == "tpcw-cluster" || t.as_str() == "tpcw-real");
+    let metrics = all || tokens.iter().any(|t| t.as_str() == "metrics");
     let figures: Vec<FigureId> = if all {
         FigureId::ALL.to_vec()
     } else {
         tokens
             .iter()
-            .filter(|t| t.as_str() != "tpcw-cluster" && t.as_str() != "tpcw-real")
+            .filter(|t| {
+                t.as_str() != "tpcw-cluster" && t.as_str() != "tpcw-real" && t.as_str() != "metrics"
+            })
             .filter_map(|t| {
                 let id = FigureId::parse(t);
                 if id.is_none() {
                     eprintln!(
-                        "unknown figure id '{t}' (expected fig4..fig14, standalone, grouping, tpcw-cluster)"
+                        "unknown figure id '{t}' (expected fig4..fig14, standalone, grouping, tpcw-cluster, metrics)"
                     );
                 }
                 id
@@ -47,5 +53,8 @@ fn main() {
     }
     if tpcw_cluster {
         println!("{}", run_tpcw_cluster(quick));
+    }
+    if metrics {
+        println!("{}", run_metrics(quick));
     }
 }

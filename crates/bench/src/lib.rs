@@ -20,7 +20,8 @@ use std::time::Duration;
 use tashkent::{Cluster, ClusterConfig, SystemKind};
 use tashkent_sim::{Experiment, FigureId};
 use tashkent_workloads::{
-    run_driver, DriverConfig, TpcWBrowsing, TpcWShopping, Workload,
+    render_stage_breakdown, run_driver, DriverConfig, DriverReport, TpcB, TpcWBrowsing,
+    TpcWShopping, Workload,
 };
 
 /// Runs one figure/table experiment and returns its rendered text.
@@ -64,9 +65,11 @@ pub fn run_tpcw_cluster(quick: bool) -> String {
     out.push_str("# tpcw-cluster — TPC-W mixes on the real cluster\n");
     for (mix_name, make_workload) in &mixes {
         out.push_str(&format!("## {mix_name} mix\n"));
+        // The shared driver-report columns plus the mix-specific read share.
         out.push_str(&format!(
-            "{:<28}{:>12}{:>12}{:>12}{:>12}\n",
-            "system x replicas", "tput/s", "read share", "p50 ms", "drain ms"
+            "{}{:>12}\n",
+            DriverReport::table_header("system x replicas"),
+            "read share"
         ));
         for system in SystemKind::ALL {
             for &replicas in replica_counts {
@@ -92,14 +95,67 @@ pub fn run_tpcw_cluster(quick: bool) -> String {
                     report.read_only as f64 / report.committed as f64
                 };
                 out.push_str(&format!(
-                    "{:<28}{:>12.0}{:>12.2}{:>12.2}{:>12}\n",
-                    format!("{} x {replicas}", system.label()),
-                    report.throughput(),
-                    read_share,
-                    report.latency.median().as_secs_f64() * 1e3,
-                    report.drain.as_millis(),
+                    "{}{read_share:>12.2}\n",
+                    report.table_row(&format!("{} x {replicas}", system.label())),
                 ));
             }
+        }
+    }
+    out
+}
+
+/// Runs TPC-B against **real clusters** for every system at 1 and 4
+/// certifier shards and renders the commit-path observability report: the
+/// shared driver-report row for each configuration followed by the
+/// per-stage (begin / execute / certify / durable / announce / install)
+/// latency breakdown from [`Cluster::metrics_snapshot`].
+///
+/// This is the `figures -- metrics` entry point — the quickest way to see
+/// where commit latency goes in each replication design without attaching
+/// a flight recorder by hand.
+///
+/// `quick` shortens the per-point window for tests/CI.
+#[must_use]
+pub fn run_metrics(quick: bool) -> String {
+    let window = if quick {
+        Duration::from_millis(150)
+    } else {
+        Duration::from_millis(500)
+    };
+    let mut out = String::new();
+    out.push_str("# metrics — commit-path stage breakdown (TPC-B, real cluster)\n");
+    for system in [
+        SystemKind::Base,
+        SystemKind::TashkentMw,
+        SystemKind::TashkentApi,
+    ] {
+        for shards in [1usize, 4] {
+            let mut config = ClusterConfig::small(system);
+            config.replicas = 2;
+            config.clients_per_replica = 3;
+            config.certifier_shards = shards;
+            let cluster = Arc::new(Cluster::new(config).expect("valid configuration"));
+            let workload: Arc<dyn Workload> = Arc::new(TpcB {
+                branches: 4,
+                tellers_per_branch: 10,
+                accounts_per_branch: 200,
+            });
+            workload.setup(&cluster);
+            let report = run_driver(
+                &cluster,
+                &workload,
+                &DriverConfig {
+                    clients_per_replica: 3,
+                    duration: window,
+                    seed: 0x7A5B_6001 + shards as u64,
+                    ..DriverConfig::default()
+                },
+            );
+            let label = format!("{} / {shards} shard(s)", system.label());
+            out.push_str(&format!("## {label}\n"));
+            out.push_str(&format!("{}\n", DriverReport::table_header("system / shards")));
+            out.push_str(&format!("{}\n", report.table_row(&label)));
+            out.push_str(&render_stage_breakdown(&cluster.metrics_snapshot()));
         }
     }
     out
@@ -131,8 +187,26 @@ mod tests {
         let text = run_tpcw_cluster(true);
         assert!(text.contains("browsing mix"));
         assert!(text.contains("shopping mix"));
+        assert!(text.contains("drain ms"), "{text}");
         for system in ["base", "tashMW", "tashAPI"] {
             assert!(text.contains(&format!("{system} x 1")), "{system}:\n{text}");
         }
+    }
+
+    #[test]
+    fn metrics_figure_breaks_down_every_stage_for_every_system_and_shard_count() {
+        let text = run_metrics(true);
+        for system in ["base", "tashMW", "tashAPI"] {
+            for shards in [1, 4] {
+                assert!(
+                    text.contains(&format!("## {system} / {shards} shard(s)")),
+                    "{system}/{shards}:\n{text}"
+                );
+            }
+        }
+        for stage in ["begin", "execute", "certify", "durable", "announce", "install"] {
+            assert!(text.contains(stage), "{stage}:\n{text}");
+        }
+        assert!(text.contains("queue high-water marks"), "{text}");
     }
 }

@@ -14,10 +14,14 @@
 //!   version down to which each remote writeset is conflict-free
 //!   (Section 5.2.1).
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tashkent_common::{Error, ReplicaId, Result, Version, WriteSet};
+use tashkent_common::metrics::{CounterId, GaugeId, Stage};
+use tashkent_common::{Error, MetricsRegistry, ReplicaId, Result, Version, WriteSet};
 use tashkent_storage::disk::DiskConfig;
 
 use crate::log::CertifierLog;
@@ -39,6 +43,9 @@ pub struct CertifierConfig {
     /// Seed for the forced-abort random choice, so experiments are
     /// repeatable.
     pub seed: u64,
+    /// Cluster metrics registry this certifier reports into.  Standalone
+    /// certifiers default to a disabled (no-op) registry.
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for CertifierConfig {
@@ -49,6 +56,7 @@ impl Default for CertifierConfig {
             durable: true,
             forced_abort_rate: 0.0,
             seed: 0x7A5B_0001,
+            metrics: Arc::new(MetricsRegistry::disabled()),
         }
     }
 }
@@ -154,6 +162,7 @@ pub struct Certifier {
     inner: Mutex<CertifierInner>,
     replicated: ReplicatedLog,
     forced_abort_rate: f64,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for Certifier {
@@ -179,6 +188,7 @@ impl Certifier {
             }),
             replicated: ReplicatedLog::new(config.nodes, config.disk, config.durable),
             forced_abort_rate: config.forced_abort_rate.clamp(0.0, 1.0),
+            metrics: config.metrics,
         }
     }
 
@@ -258,6 +268,9 @@ impl Certifier {
                 "certifier majority not available".into(),
             ));
         }
+        // Inbox depth: requests currently inside certification.
+        let _inflight = self.metrics.gauge_guard(GaugeId::CertifierInflight);
+        self.metrics.incr(CounterId::CertifyRequests);
         let mut inner = self.inner.lock();
         inner.requests += 1;
 
@@ -284,6 +297,7 @@ impl Certifier {
             .conflict_after(&request.writeset, request.start_version)
         {
             inner.conflict_aborts += 1;
+            self.metrics.incr(CounterId::CertifyAborts);
             let system_version = inner.log.system_version();
             return Ok(CertificationResponse {
                 decision: CertificationDecision::Abort {
@@ -300,6 +314,7 @@ impl Certifier {
         // computational overhead at the certifier is incurred (Section 9.5).
         if self.forced_abort_rate > 0.0 && inner.rng.gen::<f64>() < self.forced_abort_rate {
             inner.forced_aborts += 1;
+            self.metrics.incr(CounterId::CertifyAborts);
             let system_version = inner.log.system_version();
             return Ok(CertificationResponse {
                 decision: CertificationDecision::Abort {
@@ -323,7 +338,18 @@ impl Certifier {
         // The decision is only announced once the log record is durable on a
         // majority of certifier nodes.  Concurrent certifications share
         // fsyncs through group commit.
-        self.replicated.append(commit_version, &request.writeset)?;
+        if self.metrics.is_enabled() {
+            let durable_started = Instant::now();
+            self.replicated.append(commit_version, &request.writeset)?;
+            self.metrics
+                .record_stage(Stage::Durable, durable_started.elapsed());
+            self.metrics.incr(CounterId::DurableAppends);
+            self.metrics.incr(CounterId::CertifyCommits);
+            // The unsharded certifier is the degenerate single-shard case.
+            self.metrics.record_shard_commit(0);
+        } else {
+            self.replicated.append(commit_version, &request.writeset)?;
+        }
 
         Ok(CertificationResponse {
             decision: CertificationDecision::Commit,

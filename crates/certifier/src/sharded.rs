@@ -37,10 +37,14 @@
 //! [`merge_shard_streams`] exploits this to reassemble a gap-free global
 //! stream from per-shard streams (the proxy-side fan-in).
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use parking_lot::{Mutex, MutexGuard};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tashkent_common::{Error, Result, ShardId, ShardMap, Version, WriteSet};
+use tashkent_common::metrics::{CounterId, GaugeId, Stage};
+use tashkent_common::{Error, MetricsRegistry, Result, ShardId, ShardMap, Version, WriteSet};
 
 use crate::certifier::{
     CertificationDecision, CertificationRequest, CertificationResponse, CertifierConfig,
@@ -197,6 +201,7 @@ pub struct ShardedCertifier {
     shards: Vec<Shard>,
     sequencer: Mutex<Sequencer>,
     forced_abort_rate: f64,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for ShardedCertifier {
@@ -243,6 +248,7 @@ impl ShardedCertifier {
                 multi_shard_commits: 0,
             }),
             forced_abort_rate: config.base.forced_abort_rate.clamp(0.0, 1.0),
+            metrics: config.base.metrics,
         }
     }
 
@@ -398,6 +404,11 @@ impl ShardedCertifier {
             }
         }
 
+        // Inbox depth: requests currently inside certification (across all
+        // shards — per-shard depth would need per-shard guards).
+        let _inflight = self.metrics.gauge_guard(GaugeId::CertifierInflight);
+        self.metrics.incr(CounterId::CertifyRequests);
+
         // Phase 1 (acquire): lock every owning shard in ascending shard-id
         // order.  `ShardMap::shards_of` returns them sorted, which is the
         // global acquisition order that keeps concurrent multi-shard
@@ -453,6 +464,7 @@ impl ShardedCertifier {
             let system_version = sequencer.version;
             drop(sequencer);
             drop(guards);
+            self.metrics.incr(CounterId::CertifyAborts);
             return Ok(CertificationResponse {
                 decision,
                 commit_version: None,
@@ -494,9 +506,21 @@ impl ShardedCertifier {
         // full certified history (re-partitioned through the shard map when
         // in-memory shard logs must be rebuilt).
         let home = owning[0];
-        self.shards[home.index()]
-            .replicated
-            .append(commit_version, &request.writeset)?;
+        if self.metrics.is_enabled() {
+            let durable_started = Instant::now();
+            self.shards[home.index()]
+                .replicated
+                .append(commit_version, &request.writeset)?;
+            self.metrics
+                .record_stage(Stage::Durable, durable_started.elapsed());
+            self.metrics.incr(CounterId::DurableAppends);
+            self.metrics.incr(CounterId::CertifyCommits);
+            self.metrics.record_shard_commit(home.index());
+        } else {
+            self.shards[home.index()]
+                .replicated
+                .append(commit_version, &request.writeset)?;
+        }
 
         Ok(CertificationResponse {
             decision: CertificationDecision::Commit,

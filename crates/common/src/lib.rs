@@ -19,6 +19,8 @@
 //! * [`error`] — the common error type.
 //! * [`stats`] — latency histograms, counters and throughput meters used by
 //!   the benchmark harness and by the examples.
+//! * [`metrics`] — the cluster-wide metrics registry and commit-path
+//!   tracing (the flight recorder's data plane).
 //!
 //! Everything here is deliberately free of threads and IO so that both the
 //! real multi-threaded engine (`tashkent-storage`, `tashkent-certifier`,
@@ -31,6 +33,7 @@
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod metrics;
 pub mod shard;
 pub mod stats;
 pub mod value;
@@ -39,6 +42,9 @@ pub mod writeset;
 pub use config::{ClusterConfig, IoChannelMode, SyncMode, SystemKind};
 pub use error::{Error, Result};
 pub use ids::{ClientId, ReplicaId, TxId, Version};
+pub use metrics::{
+    CommitPathTrace, CounterId, GaugeId, MetricsRegistry, MetricsSnapshot, Stage, TraceTimer,
+};
 pub use shard::{ShardId, ShardMap, MAX_SHARDS};
 pub use value::Value;
 pub use stats::{GroupCommitStats, LatencyHistogram, RunStats, Series, SeriesPoint};

@@ -126,6 +126,50 @@ impl LatencyHistogram {
         self.percentile(50.0)
     }
 
+    /// Number of buckets every histogram has.
+    #[must_use]
+    pub fn bucket_count() -> usize {
+        BUCKETS_PER_DECADE * DECADES
+    }
+
+    /// Raw bucket counts (bucket `i` covers `[10^(i/32), 10^((i+1)/32))`
+    /// microseconds).  Used by the metrics snapshot codec.
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Sum of all recorded samples in microseconds.
+    #[must_use]
+    pub fn sum_micros(&self) -> u128 {
+        self.sum_micros
+    }
+
+    /// Reconstructs a histogram from its parts (the metrics snapshot
+    /// decoder).  `buckets` is padded or truncated to the canonical length,
+    /// and an empty histogram (`count == 0`) gets the canonical empty
+    /// min/max regardless of the arguments.
+    #[must_use]
+    pub fn from_parts(
+        mut buckets: Vec<u64>,
+        count: u64,
+        sum_micros: u128,
+        min_micros: u64,
+        max_micros: u64,
+    ) -> Self {
+        buckets.resize(Self::bucket_count(), 0);
+        if count == 0 {
+            return LatencyHistogram::new();
+        }
+        LatencyHistogram {
+            buckets,
+            count,
+            sum_micros,
+            min_micros,
+            max_micros,
+        }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {

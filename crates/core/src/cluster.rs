@@ -7,7 +7,8 @@ use tashkent_certifier::{
     ShardedCertifierConfig,
 };
 use tashkent_common::{
-    ClusterConfig, Error, ReplicaId, Result, ShardId, SystemKind, TableId, Version,
+    ClusterConfig, CommitPathTrace, Error, MetricsRegistry, MetricsSnapshot, ReplicaId, Result,
+    ShardId, SystemKind, TableId, Version,
 };
 use tashkent_proxy::{CertifierHandle, Proxy, ProxyStats, ProxyTransaction};
 use tashkent_storage::disk::DiskConfig;
@@ -34,6 +35,7 @@ pub struct Cluster {
     config: ClusterConfig,
     certifier: CertifierHandle,
     replicas: Vec<Arc<ReplicaNode>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -54,6 +56,9 @@ impl Cluster {
     /// validation.
     pub fn new(config: ClusterConfig) -> Result<Self> {
         config.validate().map_err(Error::InvalidConfig)?;
+        // One registry for the whole cluster: every replica engine, proxy and
+        // certifier shard reports into it.
+        let metrics = Arc::new(MetricsRegistry::enabled());
         let certifier_config = CertifierConfig {
             nodes: config.certifiers,
             disk: DiskConfig {
@@ -65,6 +70,7 @@ impl Cluster {
             durable: config.system.certifier_durable(),
             forced_abort_rate: config.forced_abort_rate,
             seed: 0x7A5B_1001,
+            metrics: Arc::clone(&metrics),
         };
         let certifier: CertifierHandle = if config.certifier_shards > 1 {
             Arc::new(ShardedCertifier::new(ShardedCertifierConfig {
@@ -81,6 +87,7 @@ impl Cluster {
                     ReplicaId(i as u32),
                     &config,
                     certifier.clone(),
+                    Arc::clone(&metrics),
                 ))
             })
             .collect();
@@ -88,7 +95,40 @@ impl Cluster {
             config,
             certifier,
             replicas,
+            metrics,
         })
+    }
+
+    /// The cluster-wide metrics registry (shared by every replica engine,
+    /// proxy and certifier shard).
+    #[must_use]
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A consistent snapshot of every cluster-wide counter, gauge and
+    /// per-stage latency histogram.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The most recent commit-path traces (one per committed transaction,
+    /// newest last, bounded ring).
+    #[must_use]
+    pub fn recent_traces(&self) -> Vec<CommitPathTrace> {
+        self.metrics.recent_traces()
+    }
+
+    /// Starts a [`FlightRecorder`](crate::flight::FlightRecorder) sampling
+    /// this cluster's registry every `interval` into a bounded ring.
+    #[must_use]
+    pub fn start_flight_recorder(&self, interval: std::time::Duration) -> crate::FlightRecorder {
+        crate::FlightRecorder::start(
+            self.metrics(),
+            interval,
+            crate::flight::DEFAULT_SAMPLE_CAPACITY,
+        )
     }
 
     /// The cluster's configuration.
@@ -424,6 +464,81 @@ mod tests {
             }
             tx.commit().unwrap();
             assert_eq!(cluster.replica(1).version(), Version(15));
+        }
+    }
+
+    #[test]
+    fn commit_path_traces_are_monotonic_and_metrics_are_consistent() {
+        use tashkent_common::metrics::{CounterId, Stage};
+        for system in SystemKind::ALL {
+            let mut config = ClusterConfig::small(system);
+            config.certifier_shards = 2;
+            let cluster = Cluster::new(config).unwrap();
+            let t = cluster.create_table("kv", &["v"]);
+            for i in 0..8 {
+                let tx = cluster.session((i % 2) as usize).begin();
+                tx.insert(t, i, vec![("v".into(), Value::Int(i))]).unwrap();
+                tx.commit().unwrap();
+            }
+            cluster.sync_all().unwrap();
+
+            // Every recorded commit-path trace has monotonically
+            // non-decreasing stage timestamps: begin ≤ execute ≤ certify ≤
+            // durable ≤ announce ≤ install.
+            let traces = cluster.recent_traces();
+            assert_eq!(traces.len(), 8, "system {system}");
+            for trace in &traces {
+                assert!(
+                    trace.is_monotonic(),
+                    "system {system}: non-monotonic trace {trace:?}"
+                );
+            }
+
+            let snapshot = cluster.metrics_snapshot();
+            // Certified commits are exactly the shard-commit decisions.
+            assert_eq!(
+                snapshot.counter(CounterId::CertifyCommits),
+                snapshot.shard_commit_sum(),
+                "system {system}"
+            );
+            assert_eq!(snapshot.counter(CounterId::TxCommitted), 8);
+            assert_eq!(snapshot.counter(CounterId::CertifyCommits), 8);
+            assert!(snapshot.counter(CounterId::TxBegun) >= 8);
+            // Every commit pipeline feeds the proxy-side stage histograms.
+            for stage in [Stage::Begin, Stage::Execute, Stage::Certify] {
+                assert!(
+                    snapshot.stage(stage).count() >= 8,
+                    "system {system}: stage {} undersampled",
+                    stage.label()
+                );
+            }
+            // The certifier times every durable append.
+            assert_eq!(snapshot.stage(Stage::Durable).count(), 8, "system {system}");
+        }
+    }
+
+    #[test]
+    fn metrics_survive_replica_recovery() {
+        use tashkent_common::metrics::CounterId;
+        let cluster = small(SystemKind::TashkentApi);
+        let t = cluster.create_table("kv", &["v"]);
+        let tx = cluster.session(0).begin();
+        tx.insert(t, 1, vec![("v".into(), Value::Int(1))]).unwrap();
+        tx.commit().unwrap();
+        cluster.sync_all().unwrap();
+        let before = cluster.metrics_snapshot();
+        cluster.replica(1).crash();
+        cluster.replica(1).recover().unwrap();
+        // The rebuilt engine and proxy still report into the same registry.
+        let tx = cluster.session(1).begin();
+        tx.insert(t, 2, vec![("v".into(), Value::Int(2))]).unwrap();
+        tx.commit().unwrap();
+        let after = cluster.metrics_snapshot();
+        let delta = after.counters_since(&before);
+        assert!(delta[CounterId::TxCommitted.index()] >= 1);
+        // No counter regressed across the recovery.
+        for id in CounterId::ALL {
+            assert!(after.counter(id) >= before.counter(id), "{}", id.label());
         }
     }
 

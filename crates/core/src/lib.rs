@@ -48,17 +48,20 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod flight;
 pub mod replica;
 
 pub use cluster::{Cluster, ClusterStats};
+pub use flight::{FlightRecorder, FlightSample};
 pub use replica::ReplicaNode;
 
 pub use tashkent_certifier::{
     Certifier, CertifierConfig, CertifierNodeId, ShardedCertifier, ShardedCertifierConfig,
 };
 pub use tashkent_common::{
-    ClusterConfig, Error, IoChannelMode, ReplicaId, Result, RowKey, ShardId, ShardMap, SyncMode,
-    SystemKind, TableId, Value, Version, WriteSet,
+    ClusterConfig, CommitPathTrace, CounterId, Error, GaugeId, IoChannelMode, MetricsRegistry,
+    MetricsSnapshot, ReplicaId, Result, RowKey, ShardId, ShardMap, Stage, SyncMode, SystemKind,
+    TableId, Value, Version, WriteSet,
 };
 pub use tashkent_proxy::{CertifierHandle, CommitOutcome, Proxy, ProxyConfig, ProxyTransaction};
 pub use tashkent_storage::{Database, EngineConfig, Row};

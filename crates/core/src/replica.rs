@@ -1,9 +1,12 @@
 //! One database replica together with its transparent proxy.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use tashkent_common::{ClusterConfig, ReplicaId, Result, SyncMode, SystemKind, Version};
+use tashkent_common::{
+    ClusterConfig, MetricsRegistry, ReplicaId, Result, SyncMode, SystemKind, Version,
+};
 use tashkent_proxy::{
     recover_base_or_api_replica, recover_mw_replica, CertifierHandle, Proxy, ProxyConfig,
 };
@@ -39,9 +42,17 @@ impl std::fmt::Debug for ReplicaNode {
 }
 
 impl ReplicaNode {
-    /// Creates a fresh replica for the given cluster configuration.
+    /// Creates a fresh replica for the given cluster configuration, reporting
+    /// into the cluster's metrics registry.  The registry is kept in the
+    /// engine and proxy configurations, so it survives [`ReplicaNode::recover`]
+    /// (which rebuilds both from those configurations).
     #[must_use]
-    pub fn new(id: ReplicaId, config: &ClusterConfig, certifier: CertifierHandle) -> Self {
+    pub fn new(
+        id: ReplicaId,
+        config: &ClusterConfig,
+        certifier: CertifierHandle,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
         let sync_mode = config.replica_sync_mode();
         let engine_config = EngineConfig {
             sync_mode,
@@ -53,6 +64,7 @@ impl ReplicaNode {
             },
             ordered_commit_timeout: Duration::from_secs(1),
             lock_wait_timeout: Duration::from_secs(1),
+            metrics: Arc::clone(&metrics),
         };
         let db = Database::new(engine_config.clone());
         let proxy_config = ProxyConfig {
@@ -61,6 +73,7 @@ impl ReplicaNode {
             local_certification: config.local_certification,
             eager_precertification: config.eager_precertification,
             staleness_bound: config.staleness_bound,
+            metrics,
         };
         let proxy = Proxy::new(proxy_config.clone(), db.clone(), certifier.clone());
         ReplicaNode {

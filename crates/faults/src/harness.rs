@@ -20,7 +20,9 @@ use tashkent_workloads::{
 
 use crate::executor::{ExecutionTrace, FaultExecutor};
 use crate::minimize::{minimize, Minimized};
-use crate::oracle::{check_cluster, TpcBInvariant, Violation, WorkloadInvariant};
+use crate::oracle::{
+    check_cluster, check_metrics_progression, TpcBInvariant, Violation, WorkloadInvariant,
+};
 use crate::plan::{FaultPlan, PlanConfig};
 
 /// The workloads the harness drives fault schedules under.
@@ -213,6 +215,7 @@ pub fn run_plan(seed: u64, config: &ScheduleConfig, plan: &FaultPlan) -> Schedul
     let cluster = Arc::new(Cluster::new(config.cluster_config()).expect("valid configuration"));
     let workload = config.workload.build();
     workload.setup(&cluster);
+    let metrics_before = cluster.metrics_snapshot();
 
     let injector = FaultExecutor::new(Arc::clone(&cluster), plan.clone()).start();
     let report = run_driver(
@@ -237,6 +240,11 @@ pub fn run_plan(seed: u64, config: &ScheduleConfig, plan: &FaultPlan) -> Schedul
     };
     let invariant = config.workload.invariant();
     violations.extend(check_cluster(&cluster, invariant.as_deref()));
+    // Crashes and recoveries must never make a metric run backwards.
+    violations.extend(check_metrics_progression(
+        &metrics_before,
+        &cluster.metrics_snapshot(),
+    ));
     ScheduleOutcome {
         seed,
         config: config.clone(),

@@ -47,5 +47,8 @@ pub use harness::{
     run_plan, run_schedule, shrink_failure, HarnessWorkload, ScheduleConfig, ScheduleOutcome,
 };
 pub use minimize::{minimize as minimize_plan, Minimized};
-pub use oracle::{check_cluster, TpcBInvariant, Violation, WorkloadInvariant};
+pub use oracle::{
+    check_cluster, check_metrics_consistency, check_metrics_progression, TpcBInvariant, Violation,
+    WorkloadInvariant,
+};
 pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultTarget, NodePick, PlanConfig};

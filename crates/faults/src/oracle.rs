@@ -18,9 +18,15 @@
 //!    row for row.
 //! 6. **Workload invariants** — workload-specific conservation laws (the
 //!    TPC-B balance sums).
+//! 7. **Metrics consistency** — the flight recorder's data plane agrees
+//!    with itself: the certified-commit counter equals the sum of per-shard
+//!    commit decisions, decisions never exceed requests, and (via
+//!    [`check_metrics_progression`]) no counter regresses between
+//!    successive snapshots even across crashes and recoveries.
 
-use tashkent::{Cluster, ShardId, SystemKind, Version};
-use tashkent_common::Value;
+use tashkent::{Cluster, MetricsSnapshot, ShardId, SystemKind, Version};
+use tashkent_common::metrics::CounterId;
+use tashkent_common::{Stage, Value};
 
 /// One violated invariant.
 #[derive(Debug, Clone)]
@@ -211,6 +217,10 @@ pub fn check_cluster(
         }
     }
 
+    // Metrics consistency: the flight recorder's data plane must agree with
+    // itself no matter what was crashed and recovered.
+    violations.extend(check_metrics_consistency(&cluster.metrics_snapshot()));
+
     // Replica agreement: identical table contents everywhere.
     violations.extend(replica_contents_agree(cluster));
 
@@ -222,6 +232,86 @@ pub fn check_cluster(
                 detail,
             });
         }
+    }
+    violations
+}
+
+/// Internal-consistency checks on one metrics snapshot: certified commits
+/// equal the sum of per-shard commit decisions (the sharded certifier may
+/// not double- or under-count), and decisions never exceed requests.
+#[must_use]
+pub fn check_metrics_consistency(snapshot: &MetricsSnapshot) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let certified = snapshot.counter(CounterId::CertifyCommits);
+    let shard_sum = snapshot.shard_commit_sum();
+    if certified != shard_sum {
+        violations.push(Violation {
+            invariant: "metrics-consistency",
+            detail: format!(
+                "certified-commit counter {certified} != sum of shard commit decisions {shard_sum}"
+            ),
+        });
+    }
+    let requests = snapshot.counter(CounterId::CertifyRequests);
+    let aborts = snapshot.counter(CounterId::CertifyAborts);
+    if certified + aborts > requests {
+        violations.push(Violation {
+            invariant: "metrics-consistency",
+            detail: format!(
+                "certify decisions ({certified} commits + {aborts} aborts) exceed {requests} requests"
+            ),
+        });
+    }
+    let durable = snapshot.counter(CounterId::DurableAppends);
+    if durable != certified {
+        violations.push(Violation {
+            invariant: "metrics-consistency",
+            detail: format!(
+                "durable appends {durable} != certified commits {certified} (a commit was certified without its home-shard append, or vice versa)"
+            ),
+        });
+    }
+    violations
+}
+
+/// Monotonicity between two snapshots of the same registry: counters and
+/// per-stage histogram counts only ever grow — a crash or recovery must
+/// never make a metric run backwards.
+#[must_use]
+pub fn check_metrics_progression(
+    earlier: &MetricsSnapshot,
+    later: &MetricsSnapshot,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for id in CounterId::ALL {
+        let (then, now) = (earlier.counter(id), later.counter(id));
+        if now < then {
+            violations.push(Violation {
+                invariant: "metrics-progression",
+                detail: format!("counter {} regressed from {then} to {now}", id.label()),
+            });
+        }
+    }
+    for stage in Stage::ALL {
+        let (then, now) = (earlier.stage(stage).count(), later.stage(stage).count());
+        if now < then {
+            violations.push(Violation {
+                invariant: "metrics-progression",
+                detail: format!(
+                    "stage {} histogram count regressed from {then} to {now}",
+                    stage.label()
+                ),
+            });
+        }
+    }
+    if later.elapsed < earlier.elapsed {
+        violations.push(Violation {
+            invariant: "metrics-progression",
+            detail: format!(
+                "registry uptime regressed from {:?} to {:?}",
+                earlier.elapsed, later.elapsed
+            ),
+        });
     }
     violations
 }

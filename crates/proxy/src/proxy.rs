@@ -6,8 +6,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use tashkent_certifier::{CertificationDecision, CertificationRequest, RemoteWriteSet};
+use tashkent_common::metrics::{CounterId, GaugeId, Stage};
 use tashkent_common::{
-    Error, ReplicaId, Result, RowKey, SystemKind, TableId, Value, Version, WriteSet,
+    Error, MetricsRegistry, ReplicaId, Result, RowKey, SystemKind, TableId, TraceTimer, Value,
+    Version, WriteSet,
 };
 use tashkent_storage::{Database, Row, TxHandle};
 
@@ -28,6 +30,10 @@ pub struct ProxyConfig {
     /// If the proxy hears nothing from the certifier for this long, it
     /// proactively fetches remote writesets (bounded staleness, Section 6.2).
     pub staleness_bound: Duration,
+    /// Metrics registry the proxy reports into: transaction counters, the
+    /// begin / execute / certify stage histograms, remote-apply figures and
+    /// per-transaction commit-path traces.  Defaults to a disabled registry.
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 impl ProxyConfig {
@@ -40,6 +46,7 @@ impl ProxyConfig {
             local_certification: true,
             eager_precertification: true,
             staleness_bound: Duration::from_secs(2),
+            metrics: Arc::new(MetricsRegistry::disabled()),
         }
     }
 }
@@ -208,12 +215,22 @@ impl Proxy {
         // conservation oracle under plain concurrent load.  A label that is
         // conservative (older than the snapshot) is safe under GSI; a label
         // newer than the snapshot never is.
+        let metrics = &self.shared.config.metrics;
+        metrics.incr(CounterId::TxBegun);
+        let begin_started = metrics.is_enabled().then(Instant::now);
         let tx = self.shared.db.begin();
         let label = tx.start_version();
+        let timer = begin_started.map(|started| {
+            metrics.record_stage(Stage::Begin, started.elapsed());
+            let mut timer = TraceTimer::new(tx.id().0);
+            timer.mark(Stage::Begin);
+            timer
+        });
         ProxyTransaction {
             proxy: self.clone(),
             tx,
             label_version: label,
+            timer,
         }
     }
 
@@ -431,12 +448,19 @@ impl Proxy {
         if to_apply.is_empty() {
             return Ok(Some(0));
         }
+        let metrics = &self.shared.config.metrics;
+        metrics.gauge_set(GaugeId::RemoteApplyBacklog, to_apply.len() as i64);
         let merged = WriteSet::merged(to_apply.iter().map(|r| &*r.writeset));
         self.wound_conflicting_locals(&merged, None);
+        let install_started = metrics.is_enabled().then(Instant::now);
         let applied = self.shared.db.apply_writeset(&merged, target_version);
+        if let (Some(started), Ok(_)) = (install_started, &applied) {
+            metrics.record_stage(Stage::Install, started.elapsed());
+        }
         let mut state = self.shared.state.lock();
         state.grouped_install_active = false;
         applied?;
+        metrics.add(CounterId::RemoteInstalls, to_apply.len() as u64);
         state.stats.remote_writesets_applied += to_apply.len() as u64;
         state.stats.remote_apply_transactions += 1;
         Ok(Some(to_apply.len()))
@@ -727,9 +751,17 @@ impl Proxy {
             let db = self.shared.db.clone();
             let remote = item.remote;
             let order_index = item.order_index;
+            let metrics = Arc::clone(&self.shared.config.metrics);
             applied += 1;
             handles.push(thread::spawn(move || {
-                db.apply_writeset_ordered(&remote.writeset, remote.commit_version, order_index)
+                let install_started = metrics.is_enabled().then(Instant::now);
+                let result =
+                    db.apply_writeset_ordered(&remote.writeset, remote.commit_version, order_index);
+                if let (Some(started), Ok(_)) = (install_started, &result) {
+                    metrics.record_stage(Stage::Install, started.elapsed());
+                    metrics.incr(CounterId::RemoteInstalls);
+                }
+                result
             }));
         }
 
@@ -770,7 +802,16 @@ impl Proxy {
         self.finish_update_commit(tx, decision_commit, outcome.or(commit_version))
     }
 
-    fn commit_transaction(&self, ptx: &ProxyTransaction) -> Result<CommitOutcome> {
+    fn commit_transaction(
+        &self,
+        ptx: &ProxyTransaction,
+        timer: &mut Option<TraceTimer>,
+    ) -> Result<CommitOutcome> {
+        let metrics = &self.shared.config.metrics;
+        // The execute stage spans BEGIN to the client's COMMIT call.
+        if let Some(t) = timer.as_mut() {
+            metrics.record_stage(Stage::Execute, t.mark(Stage::Execute));
+        }
         // [C2] extract the writeset.
         let writeset = ptx.tx.writeset();
         if writeset.is_empty() {
@@ -813,10 +854,21 @@ impl Proxy {
         };
         let response = self.shared.certifier.certify(&request)?;
         self.shared.state.lock().last_contact = Instant::now();
+        if let Some(t) = timer.as_mut() {
+            // The certify round-trip; a commit response also implies the
+            // writeset is durable at the certifier, so the durable mark
+            // lands at the same observable instant.
+            metrics.record_stage(Stage::Certify, t.mark(Stage::Certify));
+            t.mark(Stage::Durable);
+        }
+        metrics.gauge_set(
+            GaugeId::RemoteApplyBacklog,
+            response.remote_writesets.len() as i64,
+        );
         let decision_commit = matches!(response.decision, CertificationDecision::Commit);
 
         // [C4] / [C5]: apply remote writesets and finalise the local commit.
-        if self.shared.config.system.ordered_commit_api() {
+        let result = if self.shared.config.system.ordered_commit_api() {
             self.commit_concurrent(
                 &ptx.tx,
                 decision_commit,
@@ -832,7 +884,17 @@ impl Proxy {
                 &response.remote_writesets,
                 &writeset,
             )
+        };
+        if let Some(t) = timer.as_mut() {
+            // The whole apply-remotes / announce / local-commit phase sits
+            // between the durable and announce marks; the install mark is
+            // the instant the commit finished.  (The announce and install
+            // stage *histograms* are fed with finer-grained timings by the
+            // engine and the apply paths respectively.)
+            t.mark(Stage::Announce);
+            t.mark(Stage::Install);
         }
+        result
     }
 
     fn record_engine_abort(&self) {
@@ -847,6 +909,8 @@ pub struct ProxyTransaction {
     tx: TxHandle,
     /// The replica version the proxy labelled this transaction with at BEGIN.
     label_version: Version,
+    /// Commit-path trace timer; present only while metrics are enabled.
+    timer: Option<TraceTimer>,
 }
 
 impl std::fmt::Debug for ProxyTransaction {
@@ -944,12 +1008,28 @@ impl ProxyTransaction {
     /// * [`Error::Unavailable`] — the certifier majority or the database is
     ///   down.
     /// * Engine errors from the commit itself.
-    pub fn commit(self) -> Result<CommitOutcome> {
-        self.proxy.clone().commit_transaction(&self)
+    pub fn commit(mut self) -> Result<CommitOutcome> {
+        let mut timer = self.timer.take();
+        let proxy = self.proxy.clone();
+        let result = proxy.commit_transaction(&self, &mut timer);
+        let metrics = &proxy.shared.config.metrics;
+        match &result {
+            Ok(_) => metrics.incr(CounterId::TxCommitted),
+            Err(_) => metrics.incr(CounterId::TxAborted),
+        }
+        if let Some(timer) = timer {
+            metrics.record_trace(timer.finish());
+        }
+        result
     }
 
     /// Aborts the transaction.
     pub fn abort(self) {
+        self.proxy
+            .shared
+            .config
+            .metrics
+            .incr(CounterId::TxAborted);
         self.tx.abort();
         self.proxy.record_engine_abort();
     }

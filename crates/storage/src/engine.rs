@@ -30,8 +30,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex, RwLock};
+use tashkent_common::metrics::Stage;
 use tashkent_common::{
-    Error, Result, RowKey, SyncMode, TableId, TxId, Value, Version, WriteOp, WriteSet,
+    Error, MetricsRegistry, Result, RowKey, SyncMode, TableId, TxId, Value, Version, WriteOp,
+    WriteSet,
 };
 
 use crate::disk::{DiskConfig, DiskStats, LogDevice, SimulatedDisk};
@@ -63,6 +65,11 @@ pub struct EngineConfig {
     /// detector; when the bound elapses the waiter aborts as a presumed
     /// deadlock victim, which clients treat as a retryable conflict.
     pub lock_wait_timeout: Duration,
+    /// Metrics registry the engine reports into (lock-wait times, the
+    /// announce-wait stage and WAL group-commit figures).  Defaults to a
+    /// disabled registry, which reduces every instrumentation point to one
+    /// predictable branch.
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +79,7 @@ impl Default for EngineConfig {
             disk: DiskConfig::default(),
             ordered_commit_timeout: Duration::from_secs(5),
             lock_wait_timeout: crate::locks::DEFAULT_LOCK_WAIT,
+            metrics: Arc::new(MetricsRegistry::disabled()),
         }
     }
 }
@@ -141,6 +149,7 @@ struct DbShared {
     counters: Mutex<Counters>,
     crashed: AtomicBool,
     ordered_commit_timeout: Duration,
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// A snapshot-isolated multi-version database engine.
@@ -182,12 +191,13 @@ impl Database {
                 txns: Mutex::new(HashMap::new()),
                 next_tx: AtomicU64::new(1),
                 locks: LockManager::with_max_wait(config.lock_wait_timeout),
-                wal: WalWriter::new(Arc::clone(&device)),
+                wal: WalWriter::with_metrics(Arc::clone(&device), Arc::clone(&config.metrics)),
                 device,
                 sync_mode: Mutex::new(config.sync_mode),
                 counters: Mutex::new(Counters::default()),
                 crashed: AtomicBool::new(false),
                 ordered_commit_timeout: config.ordered_commit_timeout,
+                metrics: config.metrics,
             }),
         }
     }
@@ -679,7 +689,16 @@ impl Database {
                 }
             }
         }
-        match self.shared.locks.acquire(id, &(table, key.clone())) {
+        let wait_started = self
+            .shared
+            .metrics
+            .is_enabled()
+            .then(std::time::Instant::now);
+        let acquired = self.shared.locks.acquire(id, &(table, key.clone()));
+        if let Some(started) = wait_started {
+            self.shared.metrics.record_lock_wait(started.elapsed());
+        }
+        match acquired {
             Ok(()) => Ok(()),
             Err(Error::Deadlock { tx }) => {
                 self.shared.counters.lock().deadlocks += 1;
@@ -888,9 +907,19 @@ impl Database {
         };
         self.log_commit(target, &writeset, None);
         // Announce in version order.
+        let announce_started = self
+            .shared
+            .metrics
+            .is_enabled()
+            .then(std::time::Instant::now);
         let mut data = self.shared.data.lock();
         while data.version != target.prev() {
             self.shared.announced.wait(&mut data);
+        }
+        if let Some(started) = announce_started {
+            self.shared
+                .metrics
+                .record_stage(Stage::Announce, started.elapsed());
         }
         self.install(&mut data, &buffer, target);
         drop(data);
@@ -941,6 +970,11 @@ impl Database {
         // submissions are concurrent).
         self.log_commit(version, &writeset, None);
         // Announce strictly in the prescribed order ("semaphore").
+        let announce_started = self
+            .shared
+            .metrics
+            .is_enabled()
+            .then(std::time::Instant::now);
         let deadline = std::time::Instant::now() + self.shared.ordered_commit_timeout;
         let mut data = self.shared.data.lock();
         while data.announce_counter != order_index - 1 {
@@ -966,6 +1000,11 @@ impl Database {
                 self.abort_tx(id);
                 return Err(Error::OrderedCommitTimeout { sequence: version });
             }
+        }
+        if let Some(started) = announce_started {
+            self.shared
+                .metrics
+                .record_stage(Stage::Announce, started.elapsed());
         }
         self.install(&mut data, &buffer, version);
         data.announce_counter = order_index;

@@ -26,7 +26,8 @@ use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::{Condvar, Mutex};
-use tashkent_common::{Error, Result, Version, WriteSet};
+use tashkent_common::metrics::{CounterId, GaugeId};
+use tashkent_common::{Error, MetricsRegistry, Result, Version, WriteSet};
 
 use crate::codec;
 use crate::disk::{DiskStats, LogDevice};
@@ -161,6 +162,7 @@ pub struct WalWriter {
     device: Arc<dyn LogDevice>,
     state: Mutex<WalState>,
     flushed: Condvar,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for WalWriter {
@@ -177,10 +179,18 @@ impl WalWriter {
     /// Creates a writer on top of a log device.
     #[must_use]
     pub fn new(device: Arc<dyn LogDevice>) -> Self {
+        WalWriter::with_metrics(device, Arc::new(MetricsRegistry::disabled()))
+    }
+
+    /// Creates a writer that reports fsync / record counts and group-commit
+    /// batch sizes into a metrics registry.
+    #[must_use]
+    pub fn with_metrics(device: Arc<dyn LogDevice>, metrics: Arc<MetricsRegistry>) -> Self {
         WalWriter {
             device,
             state: Mutex::new(WalState::default()),
             flushed: Condvar::new(),
+            metrics,
         }
     }
 
@@ -196,6 +206,7 @@ impl WalWriter {
         self.device.append(&frame);
         state.appended_lsn += frame.len() as u64;
         state.records_since_flush += 1;
+        self.metrics.incr(CounterId::WalRecords);
         state.appended_lsn
     }
 
@@ -222,6 +233,11 @@ impl WalWriter {
             state.records_since_flush = 0;
             drop(state);
 
+            self.metrics.incr(CounterId::WalFsyncs);
+            // Gauge value = size of the batch this fsync covers; the gauge's
+            // high-water mark therefore tracks the largest group commit.
+            self.metrics
+                .gauge_set(GaugeId::WalGroupBatch, records as i64);
             self.device.fsync(records);
 
             state = self.state.lock();

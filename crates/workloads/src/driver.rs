@@ -78,6 +78,34 @@ impl DriverReport {
             self.committed as f64 / secs
         }
     }
+
+    /// The shared column header matching [`DriverReport::table_row`].
+    ///
+    /// Every table of driver results in the workspace — `tpcb_comparison`,
+    /// `figures -- tpcw-cluster`, `figures -- metrics` — prints this header
+    /// (plus workload-specific columns appended after it), so the drain
+    /// tail is visible everywhere and rows line up across reports.
+    #[must_use]
+    pub fn table_header(label_title: &str) -> String {
+        format!(
+            "{label_title:<28}{:>12}{:>10}{:>12}{:>10}{:>10}",
+            "committed", "aborted", "tput/s", "p50 ms", "drain ms"
+        )
+    }
+
+    /// One table row under [`DriverReport::table_header`].  Callers append
+    /// workload-specific columns to the returned string.
+    #[must_use]
+    pub fn table_row(&self, label: &str) -> String {
+        format!(
+            "{label:<28}{:>12}{:>10}{:>12.0}{:>10.2}{:>10}",
+            self.committed,
+            self.aborted,
+            self.throughput(),
+            self.latency.median().as_secs_f64() * 1e3,
+            self.drain.as_millis(),
+        )
+    }
 }
 
 /// Runs `workload` against `cluster` with closed-loop clients on every
@@ -185,6 +213,23 @@ mod tests {
             report.committed - report.read_only
         );
         assert!(report.latency.count() == report.committed);
+    }
+
+    #[test]
+    fn report_rows_line_up_with_the_shared_header() {
+        let report = DriverReport {
+            committed: 1234,
+            aborted: 56,
+            elapsed: Duration::from_secs(1),
+            drain: Duration::from_millis(3),
+            ..DriverReport::default()
+        };
+        let header = DriverReport::table_header("system");
+        let row = report.table_row("base x 2");
+        assert_eq!(header.len(), row.len(), "{header}\n{row}");
+        assert!(header.contains("drain ms"));
+        assert!(row.contains("1234"));
+        assert!(row.ends_with("         3"), "{row:?}");
     }
 
     #[test]

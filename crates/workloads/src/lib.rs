@@ -13,6 +13,8 @@
 
 pub mod driver;
 pub mod generators;
+pub mod report;
 
 pub use driver::{DriverConfig, DriverReport, run_driver};
 pub use generators::{AllUpdates, TpcB, TpcW, TpcWBrowsing, TpcWShopping, Workload};
+pub use report::render_stage_breakdown;

@@ -6,13 +6,28 @@
 //! certification, so end-to-end TPC-B throughput is the system-level check
 //! that sharding costs nothing on an unpartitionable workload.
 //!
+//! Each system's row is followed by the commit-path stage breakdown from
+//! the cluster's metrics registry, so a throughput difference can be
+//! attributed to a stage (certify round-trip, durable fsync, in-order
+//! announce, remote install) instead of guessed at.
+//!
 //! Run with: `cargo run --release --example tpcb_comparison`
+//!
+//! Environment knobs:
+//!
+//! * `TPCB_WINDOW_MS=3000` — longer, stabler measurement windows (used when
+//!   committing baseline numbers).
+//! * `TPCB_FLIGHT=1` — attach a 250 ms flight recorder to every run and
+//!   print the per-sample timeline (committed / lock waits / WAL fsyncs per
+//!   window), the tool behind the ROADMAP bimodality investigation.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use tashkent::{Cluster, ClusterConfig, SystemKind};
-use tashkent_workloads::{run_driver, DriverConfig, TpcB, Workload};
+use tashkent::{Cluster, ClusterConfig, CounterId, FlightRecorder, FlightSample, SystemKind};
+use tashkent_workloads::{
+    render_stage_breakdown, run_driver, DriverConfig, DriverReport, TpcB, Workload,
+};
 
 /// Measurement window; override with `TPCB_WINDOW_MS=3000` for the longer,
 /// stabler windows used when committing baseline numbers (TPC-B on a hot
@@ -25,7 +40,14 @@ fn window() -> Duration {
     Duration::from_millis(ms)
 }
 
-fn run_tpcb(config: ClusterConfig) -> (Arc<Cluster>, tashkent_workloads::DriverReport) {
+/// `TPCB_FLIGHT=1` attaches a flight recorder to every run.
+fn flight_enabled() -> bool {
+    std::env::var("TPCB_FLIGHT").is_ok_and(|v| v != "0")
+}
+
+fn run_tpcb(
+    config: ClusterConfig,
+) -> (Arc<Cluster>, tashkent_workloads::DriverReport, Vec<FlightSample>) {
     let cluster = Arc::new(Cluster::new(config).expect("valid configuration"));
     let workload: Arc<dyn Workload> = Arc::new(TpcB {
         branches: 4,
@@ -33,6 +55,8 @@ fn run_tpcb(config: ClusterConfig) -> (Arc<Cluster>, tashkent_workloads::DriverR
         accounts_per_branch: 200,
     });
     workload.setup(&cluster);
+    let recorder =
+        flight_enabled().then(|| cluster.start_flight_recorder(Duration::from_millis(250)));
     let report = run_driver(
         &cluster,
         &workload,
@@ -43,19 +67,45 @@ fn run_tpcb(config: ClusterConfig) -> (Arc<Cluster>, tashkent_workloads::DriverR
             ..DriverConfig::default()
         },
     );
-    (cluster, report)
+    let samples = recorder.map(FlightRecorder::stop).unwrap_or_default();
+    (cluster, report, samples)
+}
+
+/// Prints the flight-recorder timeline: per-sample counter deltas, the raw
+/// material of the throughput-bimodality investigation (see ROADMAP).
+fn print_timeline(label: &str, samples: &[FlightSample]) {
+    if samples.len() < 2 {
+        return;
+    }
+    println!("flight timeline — {label} (deltas per 250 ms sample)");
+    for pair in samples.windows(2) {
+        let delta = pair[1].snapshot.counters_since(&pair[0].snapshot);
+        println!(
+            "  t+{:>5} ms  committed {:>6}  aborted {:>6}  lock waits {:>6}  wal fsyncs {:>5}",
+            pair[1].at.as_millis(),
+            delta[CounterId::TxCommitted.index()],
+            delta[CounterId::TxAborted.index()],
+            delta[CounterId::LockWaits.index()],
+            delta[CounterId::WalFsyncs.index()],
+        );
+    }
 }
 
 fn main() {
+    // Shared driver-report columns (same layout as `figures -- tpcw-cluster`
+    // and `figures -- metrics`) plus the TPC-B-specific durability columns.
     println!(
-        "{:<14} {:>12} {:>10} {:>10} {:>10} {:>16} {:>18}",
-        "system", "committed", "aborted", "tput/s", "drain ms", "replica fsyncs", "certifier grp size"
+        "{}{:>16}{:>20}",
+        DriverReport::table_header("system"),
+        "replica fsyncs",
+        "certifier grp size"
     );
+    let mut breakdowns = Vec::new();
     for system in SystemKind::ALL {
         let mut config = ClusterConfig::small(system);
         config.replicas = 2;
         config.clients_per_replica = 4;
-        let (cluster, report) = run_tpcb(config);
+        let (cluster, report, samples) = run_tpcb(config);
 
         let replica_fsyncs = cluster.replica(0).database().stats().wal.fsyncs;
         let certifier_group = cluster
@@ -63,38 +113,39 @@ fn main() {
             .certifier
             .map_or(0.0, |c| c.log.leader_group_commit.mean_group_size());
         println!(
-            "{:<14} {:>12} {:>10} {:>10.0} {:>10} {:>16} {:>18.1}",
-            system.label(),
-            report.committed,
-            report.aborted,
-            report.throughput(),
-            // The shutdown tail, separated from the measurement window: the
-            // ROADMAP investigation into Tashkent-API's slow drain of
-            // in-flight ordered commits reads this column.
-            report.drain.as_millis(),
-            replica_fsyncs,
-            certifier_group,
+            "{}{replica_fsyncs:>16}{certifier_group:>20.1}",
+            report.table_row(system.label()),
         );
+        breakdowns.push((system.label(), cluster.metrics_snapshot(), samples));
     }
     println!();
     println!(
         "Tashkent-MW performs no replica fsyncs at all; Tashkent-API groups its\n\
          commit records; Base pays one fsync per remote group and per local commit."
     );
+    for (label, snapshot, samples) in &breakdowns {
+        println!();
+        println!("commit-path stages — {label}");
+        print!("{}", render_stage_breakdown(snapshot));
+        print_timeline(label, samples);
+    }
 
     // Sharded-certifier sweep: the same TPC-B load on Tashkent-API with the
     // certifier split into 1 / 2 / 4 shards.
     println!();
     println!(
-        "{:<14} {:>12} {:>10} {:>12} {:>14} {:>18}",
-        "certifier", "committed", "aborted", "window tput", "cert commits", "multi-shard cert"
+        "{}{:>14}{:>14}{:>18}",
+        DriverReport::table_header("certifier"),
+        "window tput",
+        "cert commits",
+        "multi-shard cert"
     );
     for shards in [1usize, 2, 4] {
         let mut config = ClusterConfig::small(SystemKind::TashkentApi);
         config.replicas = 2;
         config.clients_per_replica = 4;
         config.certifier_shards = shards;
-        let (cluster, report) = run_tpcb(config);
+        let (cluster, report, samples) = run_tpcb(config);
         let handle = cluster.certifier();
         let multi_shard = handle
             .as_sharded()
@@ -105,15 +156,13 @@ fn main() {
         // would make the sweep compare tail behaviour instead of
         // certification throughput.
         let window_tput = report.committed as f64 / window().as_secs_f64();
+        let label = format!("{shards} shard(s)");
         println!(
-            "{:<14} {:>12} {:>10} {:>12.0} {:>14} {:>18}",
-            format!("{shards} shard(s)"),
-            report.committed,
-            report.aborted,
-            window_tput,
+            "{}{window_tput:>14.0}{:>14}{multi_shard:>18}",
+            report.table_row(&label),
             handle.stats().commits,
-            multi_shard,
         );
+        print_timeline(&label, &samples);
     }
     println!();
     println!(
