@@ -29,7 +29,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use tashkent_certifier::{
     CertificationRequest, ShardedCertifier, ShardedCertifierConfig,
 };
-use tashkent_common::{MetricsRegistry, ReplicaId, TableId, Value, WriteItem, WriteSet};
+use tashkent_common::{
+    Component, Event, EventKind, MetricsRegistry, ReplicaId, TableId, Value, WriteItem, WriteSet,
+};
 
 const WORKERS: usize = 4;
 const BATCH: u64 = 256;
@@ -173,6 +175,60 @@ fn bench_metrics_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Event-journal overhead check, mirroring `metrics_overhead` for the
+/// causal event journal: the same TPC-B trace through the same sharded
+/// certifier, once with metrics on but `emit` a no-op
+/// ([`MetricsRegistry::enabled_without_journal`]) and once fully enabled,
+/// so the measured delta is exactly the journal's cost (clock read +
+/// seqlock ring write per decision event) on the certification hot path.
+/// The acceptance bar matches PR 6's budget: ≤ 5%, under run-to-run noise.
+/// The `emit` sub-benchmark pins the absolute per-call costs: a disabled
+/// emit must stay a single predictable branch (single-digit ns), an
+/// enabled one a clock read plus ring write (~100 ns).
+fn bench_events_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("events_overhead");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(BATCH));
+    let trace = Arc::new(tpcb_trace(4096));
+    for (mode, registry) in [
+        ("no-journal", MetricsRegistry::enabled_without_journal()),
+        ("journal", MetricsRegistry::enabled()),
+    ] {
+        let mut config = ShardedCertifierConfig::with_shards(2);
+        config.base.metrics = Arc::new(registry);
+        let certifier = Arc::new(ShardedCertifier::new(config));
+        let cursor = AtomicUsize::new(0);
+        group.bench_with_input(BenchmarkId::new("tpcb", mode), &mode, |b, _| {
+            b.iter(|| certify_batch(&certifier, &trace, &cursor, START_LAG));
+        });
+    }
+    for (mode, registry) in [
+        ("disabled", MetricsRegistry::disabled()),
+        ("enabled", MetricsRegistry::enabled()),
+    ] {
+        let registry = Arc::new(registry);
+        group.bench_with_input(BenchmarkId::new("emit", mode), &mode, |b, _| {
+            b.iter(|| {
+                for i in 0..BATCH {
+                    registry.emit(
+                        Event::new(Component::Certifier, EventKind::CertifyCommit)
+                            .tx(i)
+                            .version(i)
+                            .shard(0),
+                    );
+                    registry.emit(
+                        Event::new(Component::Certifier, EventKind::DurableAppend)
+                            .version(i)
+                            .shard(0),
+                    );
+                }
+                registry.events_dropped()
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_sharded(c: &mut Criterion) {
     let mut group = c.benchmark_group("sharded_certification");
     group.sample_size(12);
@@ -200,5 +256,10 @@ fn bench_sharded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sharded, bench_metrics_overhead);
+criterion_group!(
+    benches,
+    bench_sharded,
+    bench_metrics_overhead,
+    bench_events_overhead
+);
 criterion_main!(benches);

@@ -161,6 +161,47 @@ pub fn run_metrics(quick: bool) -> String {
     out
 }
 
+/// Runs one TPC-B burst on a real Tashkent-API cluster and exports the
+/// merged observability timeline as **Chrome trace / Perfetto JSON**: one
+/// complete span per commit-path stage per traced transaction (from the
+/// commit-path trace ring) plus one instant per journal event, all on the
+/// registry's single clock.
+///
+/// This is the `figures -- timeline` entry point.  Save the output to a
+/// file and open it in `ui.perfetto.dev` (or `chrome://tracing`) to scrub
+/// through the cluster's last moments transaction by transaction.
+///
+/// `quick` shortens the load window for tests/CI.
+#[must_use]
+pub fn run_timeline(quick: bool) -> String {
+    let window = if quick {
+        Duration::from_millis(150)
+    } else {
+        Duration::from_millis(500)
+    };
+    let mut config = ClusterConfig::small(SystemKind::TashkentApi);
+    config.replicas = 2;
+    config.clients_per_replica = 3;
+    let cluster = Arc::new(Cluster::new(config).expect("valid configuration"));
+    let workload: Arc<dyn Workload> = Arc::new(TpcB {
+        branches: 4,
+        tellers_per_branch: 10,
+        accounts_per_branch: 200,
+    });
+    workload.setup(&cluster);
+    let _ = run_driver(
+        &cluster,
+        &workload,
+        &DriverConfig {
+            clients_per_replica: 3,
+            duration: window,
+            seed: 0x7A5B_7001,
+            ..DriverConfig::default()
+        },
+    );
+    tashkent::chrome_trace_json(&cluster.events(), &cluster.recent_traces())
+}
+
 /// Runs every figure/table experiment, returning `(label, rendered)` pairs.
 #[must_use]
 pub fn run_all_figures(quick: bool) -> Vec<(&'static str, String)> {
@@ -208,5 +249,17 @@ mod tests {
             assert!(text.contains(stage), "{stage}:\n{text}");
         }
         assert!(text.contains("queue high-water marks"), "{text}");
+    }
+
+    #[test]
+    fn timeline_exports_chrome_trace_json_with_spans_and_instants() {
+        let json = run_timeline(true);
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"traceEvents\""));
+        // TPC-B commits under load: the trace ring yields per-stage spans
+        // and the journal yields instants.
+        assert!(json.contains("\"ph\":\"X\""), "no spans in timeline");
+        assert!(json.contains("\"ph\":\"i\""), "no instants in timeline");
+        assert!(json.contains("\"cat\":\"commit-path\""));
     }
 }

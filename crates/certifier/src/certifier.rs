@@ -21,7 +21,9 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tashkent_common::metrics::{CounterId, GaugeId, Stage};
-use tashkent_common::{Error, MetricsRegistry, ReplicaId, Result, Version, WriteSet};
+use tashkent_common::{
+    Component, Error, Event, EventKind, MetricsRegistry, ReplicaId, Result, Version, WriteSet,
+};
 use tashkent_storage::disk::DiskConfig;
 
 use crate::log::CertifierLog;
@@ -298,6 +300,8 @@ impl Certifier {
         {
             inner.conflict_aborts += 1;
             self.metrics.incr(CounterId::CertifyAborts);
+            self.metrics
+                .emit(Event::new(Component::Certifier, EventKind::CertifyAbort).shard(0));
             let system_version = inner.log.system_version();
             return Ok(CertificationResponse {
                 decision: CertificationDecision::Abort {
@@ -315,6 +319,8 @@ impl Certifier {
         if self.forced_abort_rate > 0.0 && inner.rng.gen::<f64>() < self.forced_abort_rate {
             inner.forced_aborts += 1;
             self.metrics.incr(CounterId::CertifyAborts);
+            self.metrics
+                .emit(Event::new(Component::Certifier, EventKind::CertifyAbort).shard(0));
             let system_version = inner.log.system_version();
             return Ok(CertificationResponse {
                 decision: CertificationDecision::Abort {
@@ -347,6 +353,16 @@ impl Certifier {
             self.metrics.incr(CounterId::CertifyCommits);
             // The unsharded certifier is the degenerate single-shard case.
             self.metrics.record_shard_commit(0);
+            self.metrics.emit(
+                Event::new(Component::Certifier, EventKind::CertifyCommit)
+                    .version(commit_version.0)
+                    .shard(0),
+            );
+            self.metrics.emit(
+                Event::new(Component::Certifier, EventKind::DurableAppend)
+                    .version(commit_version.0)
+                    .shard(0),
+            );
         } else {
             self.replicated.append(commit_version, &request.writeset)?;
         }

@@ -44,7 +44,10 @@ use parking_lot::{Mutex, MutexGuard};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tashkent_common::metrics::{CounterId, GaugeId, Stage};
-use tashkent_common::{Error, MetricsRegistry, Result, ShardId, ShardMap, Version, WriteSet};
+use tashkent_common::{
+    Component, Error, Event, EventKind, MetricsRegistry, Result, ShardId, ShardMap, Version,
+    WriteSet,
+};
 
 use crate::certifier::{
     CertificationDecision, CertificationRequest, CertificationResponse, CertifierConfig,
@@ -465,6 +468,9 @@ impl ShardedCertifier {
             drop(sequencer);
             drop(guards);
             self.metrics.incr(CounterId::CertifyAborts);
+            self.metrics.emit(
+                Event::new(Component::Certifier, EventKind::CertifyAbort).shard(owning[0].index()),
+            );
             return Ok(CertificationResponse {
                 decision,
                 commit_version: None,
@@ -516,6 +522,16 @@ impl ShardedCertifier {
             self.metrics.incr(CounterId::DurableAppends);
             self.metrics.incr(CounterId::CertifyCommits);
             self.metrics.record_shard_commit(home.index());
+            self.metrics.emit(
+                Event::new(Component::Certifier, EventKind::CertifyCommit)
+                    .version(commit_version.0)
+                    .shard(home.index()),
+            );
+            self.metrics.emit(
+                Event::new(Component::Certifier, EventKind::DurableAppend)
+                    .version(commit_version.0)
+                    .shard(home.index()),
+            );
         } else {
             self.shards[home.index()]
                 .replicated

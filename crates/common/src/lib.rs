@@ -21,6 +21,8 @@
 //!   the benchmark harness and by the examples.
 //! * [`metrics`] — the cluster-wide metrics registry and commit-path
 //!   tracing (the flight recorder's data plane).
+//! * [`events`] — the causal event journal: typed events with causal ids
+//!   in lock-free bounded rings, merged timelines, Chrome-trace export.
 //!
 //! Everything here is deliberately free of threads and IO so that both the
 //! real multi-threaded engine (`tashkent-storage`, `tashkent-certifier`,
@@ -32,6 +34,7 @@
 
 pub mod config;
 pub mod error;
+pub mod events;
 pub mod ids;
 pub mod metrics;
 pub mod shard;
@@ -41,6 +44,9 @@ pub mod writeset;
 
 pub use config::{ClusterConfig, IoChannelMode, SyncMode, SystemKind};
 pub use error::{Error, Result};
+pub use events::{
+    chrome_trace_json, merge_timelines, text_timeline, Component, Event, EventKind, EventRing,
+};
 pub use ids::{ClientId, ReplicaId, TxId, Version};
 pub use metrics::{
     CommitPathTrace, CounterId, GaugeId, MetricsRegistry, MetricsSnapshot, Stage, TraceTimer,

@@ -37,6 +37,9 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use crate::events::{
+    merge_timelines, Component, Event, EventRing, COMPONENT_COUNT, EVENT_RING_CAPACITY,
+};
 use crate::stats::LatencyHistogram;
 use crate::{Error, Result};
 
@@ -317,6 +320,11 @@ pub const TRACE_CAPACITY: usize = 256;
 pub struct CommitPathTrace {
     /// Transaction identifier (engine `TxId`).
     pub tx: u64,
+    /// When the transaction started, in microseconds since the registry
+    /// started (zero when the timer was built without a registry clock).
+    /// Shared with the event journal's clock, so trace spans and journal
+    /// events line up on one timeline in the Chrome-trace export.
+    pub started_micros: u64,
     /// Cumulative offsets in microseconds, indexed by [`Stage::index`].
     pub marks: [u64; STAGE_COUNT],
 }
@@ -336,6 +344,7 @@ impl CommitPathTrace {
 pub struct TraceTimer {
     tx: u64,
     started: Instant,
+    started_micros: u64,
     last_micros: u64,
     marks: [Option<u64>; STAGE_COUNT],
 }
@@ -344,9 +353,18 @@ impl TraceTimer {
     /// Starts timing a transaction at the current instant.
     #[must_use]
     pub fn new(tx: u64) -> Self {
+        TraceTimer::new_at(tx, 0)
+    }
+
+    /// Starts timing a transaction, anchored at `started_micros` on the
+    /// registry clock (see [`MetricsRegistry::uptime_micros`]) so the
+    /// finished trace can be placed on the cluster timeline.
+    #[must_use]
+    pub fn new_at(tx: u64, started_micros: u64) -> Self {
         TraceTimer {
             tx,
             started: Instant::now(),
+            started_micros,
             last_micros: 0,
             marks: [None; STAGE_COUNT],
         }
@@ -372,7 +390,11 @@ impl TraceTimer {
             last = mark.unwrap_or(last).max(last);
             *slot = last;
         }
-        CommitPathTrace { tx: self.tx, marks }
+        CommitPathTrace {
+            tx: self.tx,
+            started_micros: self.started_micros,
+            marks,
+        }
     }
 }
 
@@ -385,6 +407,10 @@ impl TraceTimer {
 #[derive(Debug)]
 pub struct MetricsRegistry {
     enabled: bool,
+    /// Whether [`MetricsRegistry::emit`] records into the journal.  On for
+    /// every enabled registry except the `enabled_without_journal` baseline
+    /// the `events_overhead` bench compares against.
+    journal_enabled: bool,
     started: Instant,
     stages: [ShardedHistogram; STAGE_COUNT],
     lock_wait: ShardedHistogram,
@@ -392,6 +418,9 @@ pub struct MetricsRegistry {
     gauges: [Gauge; GAUGE_COUNT],
     shard_commits: [AtomicU64; SHARD_COMMIT_SLOTS],
     traces: Mutex<VecDeque<CommitPathTrace>>,
+    /// The causal event journal: one lock-free bounded ring per
+    /// [`Component`], written through [`MetricsRegistry::emit`].
+    journal: [EventRing; COMPONENT_COUNT],
 }
 
 impl Default for MetricsRegistry {
@@ -402,8 +431,13 @@ impl Default for MetricsRegistry {
 
 impl MetricsRegistry {
     fn with_enabled(enabled: bool) -> Self {
+        MetricsRegistry::with_flags(enabled, enabled)
+    }
+
+    fn with_flags(enabled: bool, journal_enabled: bool) -> Self {
         MetricsRegistry {
             enabled,
+            journal_enabled,
             started: Instant::now(),
             stages: std::array::from_fn(|_| ShardedHistogram::new()),
             lock_wait: ShardedHistogram::new(),
@@ -411,6 +445,9 @@ impl MetricsRegistry {
             gauges: std::array::from_fn(|_| Gauge::default()),
             shard_commits: std::array::from_fn(|_| AtomicU64::new(0)),
             traces: Mutex::new(VecDeque::with_capacity(TRACE_CAPACITY)),
+            journal: std::array::from_fn(|_| {
+                EventRing::new(if journal_enabled { EVENT_RING_CAPACITY } else { 1 })
+            }),
         }
     }
 
@@ -426,6 +463,16 @@ impl MetricsRegistry {
     #[must_use]
     pub fn disabled() -> Self {
         MetricsRegistry::with_enabled(false)
+    }
+
+    /// Creates a registry that records counters, gauges, histograms and
+    /// traces but whose [`MetricsRegistry::emit`] is a no-op.  This is the
+    /// baseline the `events_overhead` bench compares a fully enabled
+    /// registry against, so the measured delta is exactly the causal event
+    /// journal's cost on the hot path.
+    #[must_use]
+    pub fn enabled_without_journal() -> Self {
+        MetricsRegistry::with_flags(true, false)
     }
 
     /// `true` if this registry records.
@@ -512,6 +559,49 @@ impl MetricsRegistry {
             }
             traces.push_back(trace);
         }
+    }
+
+    /// Microseconds since the registry started: the clock every journal
+    /// event and trace anchor shares.
+    #[must_use]
+    pub fn uptime_micros(&self) -> u64 {
+        duration_micros(self.started.elapsed())
+    }
+
+    /// Records `event` into its component's journal ring, stamping it
+    /// with the registry clock.  A single branch when disabled.
+    pub fn emit(&self, event: Event) {
+        if self.journal_enabled {
+            let mut event = event;
+            event.at_micros = self.uptime_micros();
+            self.journal[event.component.index()].record(&event);
+        }
+    }
+
+    /// The events currently held in `component`'s ring, oldest first.
+    #[must_use]
+    pub fn component_events(&self, component: Component) -> Vec<Event> {
+        self.journal[component.index()].snapshot()
+    }
+
+    /// The merged cluster timeline: every component's ring, ordered by
+    /// the shared registry clock.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        merge_timelines(
+            Component::ALL
+                .iter()
+                .map(|c| self.component_events(*c))
+                .collect(),
+        )
+    }
+
+    /// Events dropped across all rings to avoid torn slots (full-lap
+    /// write collisions only — overwriting the oldest entry is not a
+    /// drop).
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.journal.iter().map(EventRing::dropped).sum()
     }
 
     /// The most recent commit-path traces, oldest first.
@@ -820,6 +910,7 @@ fn decode_histogram(cursor: &mut Cursor<'_>) -> Result<LatencyHistogram> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::EventKind;
 
     #[test]
     fn disabled_registry_records_nothing() {
@@ -830,14 +921,17 @@ mod tests {
         registry.record_shard_commit(0);
         registry.record_trace(CommitPathTrace {
             tx: 1,
+            started_micros: 0,
             marks: [0; STAGE_COUNT],
         });
+        registry.emit(Event::new(Component::Proxy, EventKind::TxCommit).tx(1));
         let snapshot = registry.snapshot();
         assert_eq!(snapshot.counter(CounterId::TxCommitted), 0);
         assert_eq!(snapshot.stage(Stage::Certify).count(), 0);
         assert_eq!(snapshot.gauge(GaugeId::WalGroupBatch), (0, 0));
         assert_eq!(snapshot.shard_commit_sum(), 0);
         assert!(registry.recent_traces().is_empty());
+        assert!(registry.events().is_empty());
     }
 
     #[test]
@@ -880,6 +974,7 @@ mod tests {
         for tx in 0..(TRACE_CAPACITY as u64 + 10) {
             registry.record_trace(CommitPathTrace {
                 tx,
+                started_micros: 0,
                 marks: [0; STAGE_COUNT],
             });
         }
@@ -887,6 +982,29 @@ mod tests {
         assert_eq!(traces.len(), TRACE_CAPACITY);
         assert_eq!(traces.first().unwrap().tx, 10);
         assert_eq!(traces.last().unwrap().tx, TRACE_CAPACITY as u64 + 9);
+    }
+
+    #[test]
+    fn enabled_registry_journals_and_merges_by_its_clock() {
+        let registry = MetricsRegistry::enabled();
+        registry.emit(Event::new(Component::Proxy, EventKind::TxBegin).tx(9));
+        registry.emit(
+            Event::new(Component::Certifier, EventKind::CertifyCommit)
+                .tx(9)
+                .version(1)
+                .shard(0),
+        );
+        registry.emit(Event::new(Component::Wal, EventKind::WalFsync).version(1));
+        let merged = registry.events();
+        assert_eq!(merged.len(), 3);
+        for pair in merged.windows(2) {
+            assert!(pair[0].at_micros <= pair[1].at_micros);
+        }
+        assert_eq!(
+            registry.component_events(Component::Certifier).len(),
+            1
+        );
+        assert_eq!(registry.events_dropped(), 0);
     }
 
     #[test]

@@ -7,13 +7,15 @@ use tashkent_certifier::{
     ShardedCertifierConfig,
 };
 use tashkent_common::{
-    ClusterConfig, CommitPathTrace, Error, MetricsRegistry, MetricsSnapshot, ReplicaId, Result,
-    ShardId, SystemKind, TableId, Version,
+    ClusterConfig, CommitPathTrace, Error, Event, MetricsRegistry, MetricsSnapshot, ReplicaId,
+    Result, ShardId, SystemKind, TableId, Version,
 };
 use tashkent_proxy::{CertifierHandle, Proxy, ProxyStats, ProxyTransaction};
 use tashkent_storage::disk::DiskConfig;
 
+use crate::bundle::DiagnosticBundle;
 use crate::replica::ReplicaNode;
+use crate::watchdog::{Watchdog, WatchdogConfig};
 
 /// Aggregate statistics of a cluster.
 #[derive(Debug, Clone, Default)]
@@ -128,6 +130,60 @@ impl Cluster {
             self.metrics(),
             interval,
             crate::flight::DEFAULT_SAMPLE_CAPACITY,
+        )
+    }
+
+    /// The merged event-journal timeline across every component, causally
+    /// ordered on the registry's clock.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.metrics.events()
+    }
+
+    /// Captures a [`DiagnosticBundle`] of the cluster's current
+    /// observability state: the metrics snapshot, the recent commit-path
+    /// traces, the merged event journal, and the per-replica progress
+    /// vector.  `kind` becomes part of the bundle file name (the watchdog
+    /// passes `convoy` / `stall`, the fault harness `oracle`).
+    #[must_use]
+    pub fn diagnostic_bundle(&self, kind: &str, detail: &str) -> DiagnosticBundle {
+        DiagnosticBundle {
+            kind: kind.to_owned(),
+            detail: detail.to_owned(),
+            snapshot: self.metrics.snapshot(),
+            traces: self.metrics.recent_traces(),
+            events: self.metrics.events(),
+            progress: self
+                .replicas
+                .iter()
+                .map(|r| (r.id().value(), r.version().0))
+                .collect(),
+        }
+    }
+
+    /// Starts an anomaly [`Watchdog`] over this cluster's registry.  When a
+    /// detector fires, the watchdog captures a diagnostic bundle of the
+    /// cluster via [`Cluster::diagnostic_bundle`] and writes it under the
+    /// bundle directory.
+    #[must_use]
+    pub fn start_watchdog(&self, config: WatchdogConfig) -> Watchdog {
+        let replicas: Vec<Arc<ReplicaNode>> = self.replicas.iter().map(Arc::clone).collect();
+        let metrics = self.metrics();
+        let capture_metrics = Arc::clone(&metrics);
+        Watchdog::start(
+            metrics,
+            config,
+            Box::new(move |verdict| DiagnosticBundle {
+                kind: verdict.kind.label().to_owned(),
+                detail: verdict.to_string(),
+                snapshot: capture_metrics.snapshot(),
+                traces: capture_metrics.recent_traces(),
+                events: capture_metrics.events(),
+                progress: replicas
+                    .iter()
+                    .map(|r| (r.id().value(), r.version().0))
+                    .collect(),
+            }),
         )
     }
 

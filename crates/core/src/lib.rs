@@ -47,21 +47,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bundle;
 pub mod cluster;
 pub mod flight;
 pub mod replica;
+pub mod watchdog;
 
+pub use bundle::DiagnosticBundle;
 pub use cluster::{Cluster, ClusterStats};
 pub use flight::{FlightRecorder, FlightSample};
 pub use replica::ReplicaNode;
+pub use watchdog::{detect, AnomalyKind, FiredAnomaly, Verdict, Watchdog, WatchdogConfig};
 
 pub use tashkent_certifier::{
     Certifier, CertifierConfig, CertifierNodeId, ShardedCertifier, ShardedCertifierConfig,
 };
 pub use tashkent_common::{
-    ClusterConfig, CommitPathTrace, CounterId, Error, GaugeId, IoChannelMode, MetricsRegistry,
-    MetricsSnapshot, ReplicaId, Result, RowKey, ShardId, ShardMap, Stage, SyncMode, SystemKind,
-    TableId, Value, Version, WriteSet,
+    chrome_trace_json, text_timeline, ClusterConfig, CommitPathTrace, Component, CounterId, Error,
+    Event, EventKind, GaugeId, IoChannelMode, MetricsRegistry, MetricsSnapshot, ReplicaId, Result,
+    RowKey, ShardId, ShardMap, Stage, SyncMode, SystemKind, TableId, Value, Version, WriteSet,
 };
 pub use tashkent_proxy::{CertifierHandle, CommitOutcome, Proxy, ProxyConfig, ProxyTransaction};
 pub use tashkent_storage::{Database, EngineConfig, Row};

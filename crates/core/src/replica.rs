@@ -5,7 +5,8 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use tashkent_common::{
-    ClusterConfig, MetricsRegistry, ReplicaId, Result, SyncMode, SystemKind, Version,
+    ClusterConfig, Component, Event, EventKind, MetricsRegistry, ReplicaId, Result, SyncMode,
+    SystemKind, Version,
 };
 use tashkent_proxy::{
     recover_base_or_api_replica, recover_mw_replica, CertifierHandle, Proxy, ProxyConfig,
@@ -161,6 +162,10 @@ impl ReplicaNode {
 
     /// Crashes the replica's database process.
     pub fn crash(&self) {
+        self.proxy_config.metrics.emit(
+            Event::new(Component::Replica, EventKind::ReplicaCrash)
+                .node(self.id.value() as usize),
+        );
         self.database().crash();
     }
 
@@ -229,6 +234,10 @@ impl ReplicaNode {
         );
         *self.db.lock() = new_db;
         *self.proxy.lock() = new_proxy;
+        self.proxy_config.metrics.emit(
+            Event::new(Component::Replica, EventKind::ReplicaRecover)
+                .node(self.id.value() as usize),
+        );
         Ok(applied)
     }
 

@@ -1,0 +1,518 @@
+//! The anomaly watchdog: online detectors over the flight recorder's
+//! timeline, with automatic diagnostic-bundle capture.
+//!
+//! The flight recorder (PR 6) turns the metrics registry into a timeline of
+//! [`FlightSample`]s; this module watches that timeline *online* for the two
+//! anomaly signatures the ROADMAP's observability work identified:
+//!
+//! * **Retry convoy** — a persistent per-sample abort trickle while commits
+//!   continue: transactions fighting over the same hot rows re-certify in
+//!   lockstep, so every sampling window shows fresh certification aborts
+//!   (the TPC-B slow-mode signature).
+//! * **Drain stall** — commits stop entirely while WAL fsyncs keep arriving
+//!   at a slow heartbeat (the rare 15.5 s drain-tail relapse: ~1 Hz windows
+//!   of two fsyncs each with zero committed transactions).
+//!
+//! Detection is a pure function over sample windows ([`detect`]), so the
+//! thresholds are deterministically testable with hand-built snapshots; the
+//! [`Watchdog`] wraps it in a sampling thread and, on first trigger per
+//! anomaly kind, writes a [`DiagnosticBundle`]
+//! to disk so the evidence is captured at the moment the anomaly happens.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use tashkent_common::{CounterId, MetricsRegistry};
+
+use crate::bundle::DiagnosticBundle;
+use crate::flight::FlightSample;
+
+/// Which anomaly signature a detector matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Persistent per-sample abort trickle while commits continue.
+    RetryConvoy,
+    /// Commits stopped entirely while WAL fsyncs keep a slow heartbeat.
+    DrainStall,
+}
+
+impl AnomalyKind {
+    /// Short label used in bundle file names (`bundle-<label>-…`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AnomalyKind::RetryConvoy => "convoy",
+            AnomalyKind::DrainStall => "stall",
+        }
+    }
+}
+
+impl std::fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A detector's conclusion: what fired and the evidence window behind it.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The matched signature.
+    pub kind: AnomalyKind,
+    /// Human-readable evidence summary (window deltas).
+    pub detail: String,
+    /// Number of consecutive samples that matched.
+    pub window: usize,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} over {} consecutive samples: {}",
+            self.kind, self.window, self.detail
+        )
+    }
+}
+
+/// Detector thresholds.  Every field is overridable from the environment
+/// (see [`WatchdogConfig::from_env`]), so a soak run can tighten or relax
+/// the watchdog without a rebuild.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Consecutive sample deltas that must all show the abort trickle
+    /// (`WATCHDOG_CONVOY_WINDOW`, default 8).
+    pub convoy_window: usize,
+    /// Minimum aborted transactions per sample delta to count as trickle
+    /// (`WATCHDOG_CONVOY_MIN_ABORTS`, default 1).
+    pub convoy_min_aborts: u64,
+    /// Consecutive sample deltas with zero commits that constitute a stall
+    /// (`WATCHDOG_STALL_WINDOW`, default 4).
+    pub stall_window: usize,
+    /// Minimum WAL fsyncs across the stalled window — the heartbeat that
+    /// distinguishes a drain stall from a merely idle cluster
+    /// (`WATCHDOG_STALL_MIN_FSYNCS`, default 2).
+    pub stall_min_fsyncs: u64,
+    /// Sampling interval of the watchdog's own recorder thread.
+    pub interval: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            convoy_window: 8,
+            convoy_min_aborts: 1,
+            stall_window: 4,
+            stall_min_fsyncs: 2,
+            interval: Duration::from_millis(250),
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// The default configuration with any `WATCHDOG_*` environment
+    /// overrides applied (unparsable values are ignored).
+    #[must_use]
+    pub fn from_env() -> Self {
+        fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok()?.parse().ok()
+        }
+        let mut config = WatchdogConfig::default();
+        if let Some(v) = env_parse::<usize>("WATCHDOG_CONVOY_WINDOW") {
+            config.convoy_window = v.max(1);
+        }
+        if let Some(v) = env_parse::<u64>("WATCHDOG_CONVOY_MIN_ABORTS") {
+            config.convoy_min_aborts = v.max(1);
+        }
+        if let Some(v) = env_parse::<usize>("WATCHDOG_STALL_WINDOW") {
+            config.stall_window = v.max(1);
+        }
+        if let Some(v) = env_parse::<u64>("WATCHDOG_STALL_MIN_FSYNCS") {
+            config.stall_min_fsyncs = v.max(1);
+        }
+        if let Some(v) = env_parse::<u64>("WATCHDOG_INTERVAL_MS") {
+            config.interval = Duration::from_millis(v.max(1));
+        }
+        config
+    }
+
+    /// How many samples the detectors need to see before either signature
+    /// can fire (the longer window, plus one for the delta baseline).
+    #[must_use]
+    pub fn samples_needed(&self) -> usize {
+        self.convoy_window.max(self.stall_window) + 1
+    }
+}
+
+fn delta(samples: &[FlightSample], counter: CounterId, i: usize) -> u64 {
+    samples[i]
+        .snapshot
+        .counter(counter)
+        .saturating_sub(samples[i - 1].snapshot.counter(counter))
+}
+
+/// Runs both detectors over a flight timeline (oldest sample first) and
+/// returns the first matching verdict, convoy checked first.
+///
+/// Pure: the watchdog thread calls this on its own samples, and tests call
+/// it on hand-built timelines, so the thresholds behave identically in both.
+#[must_use]
+pub fn detect(samples: &[FlightSample], config: &WatchdogConfig) -> Option<Verdict> {
+    detect_convoy(samples, config).or_else(|| detect_stall(samples, config))
+}
+
+/// The retry-convoy signature: every one of the last `convoy_window` sample
+/// deltas aborted at least `convoy_min_aborts` transactions *and* committed
+/// at least one — sustained conflict churn alongside progress, not a burst
+/// and not an outage.
+fn detect_convoy(samples: &[FlightSample], config: &WatchdogConfig) -> Option<Verdict> {
+    let window = config.convoy_window.max(1);
+    if samples.len() < window + 1 {
+        return None;
+    }
+    let first = samples.len() - window;
+    let mut aborted = 0u64;
+    let mut committed = 0u64;
+    for i in first..samples.len() {
+        let aborts = delta(samples, CounterId::TxAborted, i);
+        let commits = delta(samples, CounterId::TxCommitted, i);
+        if aborts < config.convoy_min_aborts || commits == 0 {
+            return None;
+        }
+        aborted += aborts;
+        committed += commits;
+    }
+    Some(Verdict {
+        kind: AnomalyKind::RetryConvoy,
+        detail: format!(
+            "{aborted} aborts across {window} consecutive samples \
+             (>= {} per sample) while {committed} transactions committed",
+            config.convoy_min_aborts
+        ),
+        window,
+    })
+}
+
+/// The drain-stall signature: the last `stall_window` sample deltas all
+/// committed zero transactions while the window as a whole still recorded
+/// at least `stall_min_fsyncs` WAL fsyncs — the periodic-fsync heartbeat
+/// that separates a wedged commit path from an idle cluster.
+fn detect_stall(samples: &[FlightSample], config: &WatchdogConfig) -> Option<Verdict> {
+    let window = config.stall_window.max(1);
+    if samples.len() < window + 1 {
+        return None;
+    }
+    let first = samples.len() - window;
+    let mut fsyncs = 0u64;
+    for i in first..samples.len() {
+        if delta(samples, CounterId::TxCommitted, i) != 0 {
+            return None;
+        }
+        fsyncs += delta(samples, CounterId::WalFsyncs, i);
+    }
+    if fsyncs < config.stall_min_fsyncs {
+        return None;
+    }
+    Some(Verdict {
+        kind: AnomalyKind::DrainStall,
+        detail: format!(
+            "commits stopped for {window} consecutive samples while \
+             {fsyncs} WAL fsyncs kept the heartbeat"
+        ),
+        window,
+    })
+}
+
+/// A fired anomaly together with where its evidence landed on disk (`None`
+/// if writing the bundle failed; the verdict is kept either way).
+#[derive(Debug, Clone)]
+pub struct FiredAnomaly {
+    /// The detector's verdict.
+    pub verdict: Verdict,
+    /// Path of the captured diagnostic bundle.
+    pub bundle: Option<PathBuf>,
+}
+
+type CaptureFn = dyn Fn(&Verdict) -> DiagnosticBundle + Send + Sync;
+
+struct WatchdogShared {
+    fired: Mutex<Vec<FiredAnomaly>>,
+    stop: AtomicBool,
+}
+
+/// A background thread sampling a [`MetricsRegistry`] and running the
+/// anomaly detectors online.  On the first trigger of each [`AnomalyKind`]
+/// it captures a diagnostic bundle (via the closure handed to
+/// [`Watchdog::start`], typically [`Cluster::diagnostic_bundle`]) and writes
+/// it under the bundle directory.
+///
+/// Dropping the watchdog stops and joins the thread.
+///
+/// [`Cluster::diagnostic_bundle`]: crate::Cluster::diagnostic_bundle
+pub struct Watchdog {
+    shared: Arc<WatchdogShared>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("fired", &self.shared.fired.lock().len())
+            .finish()
+    }
+}
+
+impl Watchdog {
+    /// Starts the watchdog thread over `registry`.  `capture` builds the
+    /// diagnostic bundle when a detector fires; the watchdog writes it to
+    /// the default bundle directory (see
+    /// [`DiagnosticBundle::write_default`]).
+    #[must_use]
+    pub fn start(
+        registry: Arc<MetricsRegistry>,
+        config: WatchdogConfig,
+        capture: Box<CaptureFn>,
+    ) -> Self {
+        let shared = Arc::new(WatchdogShared {
+            fired: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = thread::Builder::new()
+            .name("anomaly-watchdog".into())
+            .spawn(move || {
+                let started = Instant::now();
+                let keep = config.samples_needed();
+                let mut samples: VecDeque<FlightSample> = VecDeque::with_capacity(keep);
+                let mut convoy_fired = false;
+                let mut stall_fired = false;
+                let tick = config
+                    .interval
+                    .min(Duration::from_millis(10))
+                    .max(Duration::from_millis(1));
+                let mut next_sample = started + config.interval;
+                while !thread_shared.stop.load(Ordering::Relaxed) {
+                    thread::sleep(tick);
+                    if Instant::now() < next_sample {
+                        continue;
+                    }
+                    next_sample += config.interval;
+                    if samples.len() == keep {
+                        samples.pop_front();
+                    }
+                    samples.push_back(FlightSample {
+                        at: started.elapsed(),
+                        snapshot: registry.snapshot(),
+                    });
+                    let timeline: Vec<FlightSample> = samples.iter().cloned().collect();
+                    let Some(verdict) = detect(&timeline, &config) else {
+                        continue;
+                    };
+                    let already = match verdict.kind {
+                        AnomalyKind::RetryConvoy => std::mem::replace(&mut convoy_fired, true),
+                        AnomalyKind::DrainStall => std::mem::replace(&mut stall_fired, true),
+                    };
+                    if already {
+                        continue;
+                    }
+                    let bundle = capture(&verdict);
+                    let path = bundle.write_default().ok();
+                    thread_shared
+                        .fired
+                        .lock()
+                        .push(FiredAnomaly { verdict, bundle: path });
+                }
+            })
+            .expect("spawning the anomaly-watchdog thread");
+        Watchdog {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// The anomalies fired so far, oldest first.
+    #[must_use]
+    pub fn fired(&self) -> Vec<FiredAnomaly> {
+        self.shared.fired.lock().clone()
+    }
+
+    /// Stops the watchdog thread and returns everything that fired.
+    #[must_use]
+    pub fn stop(mut self) -> Vec<FiredAnomaly> {
+        self.stop_thread();
+        self.shared.fired.lock().drain(..).collect()
+    }
+
+    fn stop_thread(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop_thread();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a deterministic flight timeline by mutating one registry
+    /// between snapshots — the same shape the watchdog thread sees, with
+    /// no threads and no clocks involved.
+    struct TimelineBuilder {
+        registry: MetricsRegistry,
+        samples: Vec<FlightSample>,
+    }
+
+    impl TimelineBuilder {
+        fn new() -> Self {
+            let registry = MetricsRegistry::enabled();
+            let samples = vec![FlightSample {
+                at: Duration::ZERO,
+                snapshot: registry.snapshot(),
+            }];
+            TimelineBuilder { registry, samples }
+        }
+
+        /// One sampling interval in which the given counter deltas landed.
+        fn tick(&mut self, commits: u64, aborts: u64, fsyncs: u64) -> &mut Self {
+            self.registry.add(CounterId::TxCommitted, commits);
+            self.registry.add(CounterId::TxAborted, aborts);
+            self.registry.add(CounterId::WalFsyncs, fsyncs);
+            self.samples.push(FlightSample {
+                at: Duration::from_millis(250 * self.samples.len() as u64),
+                snapshot: self.registry.snapshot(),
+            });
+            self
+        }
+    }
+
+    fn config() -> WatchdogConfig {
+        WatchdogConfig {
+            convoy_window: 4,
+            convoy_min_aborts: 1,
+            stall_window: 3,
+            stall_min_fsyncs: 2,
+            interval: Duration::from_millis(250),
+        }
+    }
+
+    #[test]
+    fn convoy_detector_fires_on_a_persistent_abort_trickle() {
+        let mut t = TimelineBuilder::new();
+        // Healthy warm-up, then four consecutive windows that each commit
+        // and abort — the synthetic retry convoy.
+        t.tick(50, 0, 1).tick(48, 0, 1);
+        for _ in 0..4 {
+            t.tick(30, 5, 1);
+        }
+        let verdict = detect(&t.samples, &config()).expect("convoy must fire");
+        assert_eq!(verdict.kind, AnomalyKind::RetryConvoy);
+        assert_eq!(verdict.window, 4);
+        assert!(verdict.detail.contains("20 aborts"), "{}", verdict.detail);
+    }
+
+    #[test]
+    fn convoy_detector_ignores_a_single_abort_burst() {
+        let mut t = TimelineBuilder::new();
+        t.tick(50, 0, 1).tick(10, 40, 1).tick(50, 0, 1).tick(50, 0, 1).tick(50, 0, 1);
+        assert!(detect(&t.samples, &config()).is_none());
+    }
+
+    #[test]
+    fn stall_detector_fires_when_commits_stop_but_fsyncs_heartbeat() {
+        let mut t = TimelineBuilder::new();
+        // Load, then the drain-tail signature: zero commits per window with
+        // the slow fsync heartbeat still ticking.
+        t.tick(50, 1, 4).tick(50, 0, 4);
+        t.tick(0, 0, 1).tick(0, 0, 0).tick(0, 0, 1);
+        let verdict = detect(&t.samples, &config()).expect("stall must fire");
+        assert_eq!(verdict.kind, AnomalyKind::DrainStall);
+        assert_eq!(verdict.window, 3);
+        assert!(verdict.detail.contains("2 WAL fsyncs"), "{}", verdict.detail);
+    }
+
+    #[test]
+    fn stall_detector_ignores_an_idle_cluster_without_fsyncs() {
+        let mut t = TimelineBuilder::new();
+        t.tick(50, 0, 4);
+        for _ in 0..5 {
+            t.tick(0, 0, 0); // idle: no commits, but no heartbeat either
+        }
+        assert!(detect(&t.samples, &config()).is_none());
+    }
+
+    #[test]
+    fn detectors_need_a_full_window_before_firing() {
+        let mut t = TimelineBuilder::new();
+        t.tick(30, 5, 1).tick(30, 5, 1); // trickle, but only two windows
+        assert!(detect(&t.samples, &config()).is_none());
+    }
+
+    #[test]
+    fn watchdog_thread_detects_a_live_synthetic_stall_and_writes_a_bundle() {
+        let registry = Arc::new(MetricsRegistry::enabled());
+        // Some history so TxCommitted is non-trivial, then silence.
+        registry.add(CounterId::TxCommitted, 100);
+        let dir = std::env::temp_dir().join(format!(
+            "tashkent-watchdog-test-{}",
+            std::process::id()
+        ));
+        let capture_dir = dir.clone();
+        let watchdog = Watchdog::start(
+            Arc::clone(&registry),
+            WatchdogConfig {
+                convoy_window: 64, // effectively off for this test
+                convoy_min_aborts: 1,
+                stall_window: 3,
+                stall_min_fsyncs: 2,
+                interval: Duration::from_millis(5),
+            },
+            Box::new(move |verdict| {
+                let bundle = DiagnosticBundle {
+                    kind: verdict.kind.label().to_owned(),
+                    detail: verdict.to_string(),
+                    snapshot: MetricsRegistry::enabled().snapshot(),
+                    traces: Vec::new(),
+                    events: Vec::new(),
+                    progress: vec![(0, 7)],
+                };
+                // Redirect this test's bundle away from the shared default
+                // directory by writing it ourselves as well.
+                let _ = bundle.write_to(&capture_dir);
+                bundle
+            }),
+        );
+        // Keep the fsync heartbeat alive while commits stay frozen.
+        for _ in 0..60 {
+            registry.incr(CounterId::WalFsyncs);
+            thread::sleep(Duration::from_millis(5));
+            if !watchdog.fired().is_empty() {
+                break;
+            }
+        }
+        let fired = watchdog.stop();
+        assert!(
+            fired.iter().any(|f| f.verdict.kind == AnomalyKind::DrainStall),
+            "stall never fired: {fired:?}"
+        );
+        let written: Vec<_> = std::fs::read_dir(&dir)
+            .expect("bundle directory exists")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        assert!(!written.is_empty(), "no bundle written to {}", dir.display());
+        let bundle = DiagnosticBundle::read_from(&written[0]).expect("bundle round-trips");
+        assert_eq!(bundle.kind, "stall");
+        assert_eq!(bundle.progress, vec![(0, 7)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -8,12 +8,13 @@
 //! the building block [`shrink_failure`] uses to re-execute candidate plans
 //! during minimization.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tashkent::{Cluster, ClusterConfig, SystemKind};
+use tashkent::{Cluster, ClusterConfig, SystemKind, Watchdog, WatchdogConfig};
 use tashkent_workloads::{
     run_driver, AllUpdates, DriverConfig, DriverReport, TpcB, Workload,
 };
@@ -153,6 +154,9 @@ pub struct ScheduleOutcome {
     pub report: DriverReport,
     /// Invariant violations (empty = the schedule passed).
     pub violations: Vec<Violation>,
+    /// Diagnostic bundle captured for a failing schedule (`None` when the
+    /// schedule passed or the bundle could not be written).
+    pub bundle: Option<PathBuf>,
 }
 
 impl ScheduleOutcome {
@@ -194,6 +198,9 @@ impl std::fmt::Display for ScheduleOutcome {
             for violation in &self.violations {
                 writeln!(f,"  {violation}")?;
             }
+            if let Some(bundle) = &self.bundle {
+                writeln!(f, "  evidence: {}", bundle.display())?;
+            }
             writeln!(f, "  replay: {}", self.replay_hint())?;
         }
         Ok(())
@@ -217,6 +224,13 @@ pub fn run_plan(seed: u64, config: &ScheduleConfig, plan: &FaultPlan) -> Schedul
     workload.setup(&cluster);
     let metrics_before = cluster.metrics_snapshot();
 
+    // Opt-in online anomaly detection during the schedule (nightly soaks
+    // set FAULT_WATCHDOG=1): a firing detector writes its own bundle,
+    // independent of the oracle capture below.
+    let watchdog = std::env::var_os("FAULT_WATCHDOG")
+        .is_some_and(|v| v != "0" && !v.is_empty())
+        .then(|| cluster.start_watchdog(WatchdogConfig::from_env()));
+
     let injector = FaultExecutor::new(Arc::clone(&cluster), plan.clone()).start();
     let report = run_driver(
         &cluster,
@@ -228,6 +242,16 @@ pub fn run_plan(seed: u64, config: &ScheduleConfig, plan: &FaultPlan) -> Schedul
             resilient: true,
         },
     );
+    // Disarm before the oracle runs: verification syncs replicas with the
+    // load stopped (zero commits, WAL fsyncs still ticking), which is
+    // indistinguishable from the drain-stall signature.  The real
+    // drain-tail window is covered — `run_driver` blocks through the
+    // drain, so a stuck shutdown fires the detector before this line.
+    let fired = watchdog.map(Watchdog::stop).unwrap_or_default();
+    for anomaly in &fired {
+        eprintln!("watchdog fired during schedule {seed:#x}: {}", anomaly.verdict);
+    }
+
     let (trace, mut violations) = match injector.finish() {
         Ok(trace) => (trace, Vec::new()),
         Err(e) => (
@@ -245,6 +269,25 @@ pub fn run_plan(seed: u64, config: &ScheduleConfig, plan: &FaultPlan) -> Schedul
         &metrics_before,
         &cluster.metrics_snapshot(),
     ));
+
+    // Any failure dumps a diagnostic bundle, and every violation (including
+    // an executor panic) carries the path, so the replay instructions
+    // always point at captured evidence.
+    let mut bundle = None;
+    if !violations.is_empty() {
+        let detail = violations
+            .iter()
+            .map(Violation::to_string)
+            .collect::<Vec<_>>()
+            .join("; ");
+        if let Ok(path) = cluster.diagnostic_bundle("oracle", &detail).write_default() {
+            let note = format!(" [bundle: {}]", path.display());
+            for violation in &mut violations {
+                violation.detail.push_str(&note);
+            }
+            bundle = Some(path);
+        }
+    }
     ScheduleOutcome {
         seed,
         config: config.clone(),
@@ -252,6 +295,7 @@ pub fn run_plan(seed: u64, config: &ScheduleConfig, plan: &FaultPlan) -> Schedul
         trace,
         report,
         violations,
+        bundle,
     }
 }
 

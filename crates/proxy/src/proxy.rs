@@ -8,8 +8,8 @@ use parking_lot::Mutex;
 use tashkent_certifier::{CertificationDecision, CertificationRequest, RemoteWriteSet};
 use tashkent_common::metrics::{CounterId, GaugeId, Stage};
 use tashkent_common::{
-    Error, MetricsRegistry, ReplicaId, Result, RowKey, SystemKind, TableId, TraceTimer, Value,
-    Version, WriteSet,
+    Component, Error, Event, EventKind, MetricsRegistry, ReplicaId, Result, RowKey, SystemKind,
+    TableId, TraceTimer, Value, Version, WriteSet,
 };
 use tashkent_storage::{Database, Row, TxHandle};
 
@@ -220,9 +220,14 @@ impl Proxy {
         let begin_started = metrics.is_enabled().then(Instant::now);
         let tx = self.shared.db.begin();
         let label = tx.start_version();
+        metrics.emit(
+            Event::new(Component::Proxy, EventKind::TxBegin)
+                .tx(tx.id().0)
+                .node(self.shared.config.replica.value() as usize),
+        );
         let timer = begin_started.map(|started| {
             metrics.record_stage(Stage::Begin, started.elapsed());
-            let mut timer = TraceTimer::new(tx.id().0);
+            let mut timer = TraceTimer::new_at(tx.id().0, metrics.uptime_micros());
             timer.mark(Stage::Begin);
             timer
         });
@@ -317,6 +322,10 @@ impl Proxy {
     /// (re-locking it would self-deadlock; `parking_lot::Mutex` is not
     /// reentrant).
     fn resync_locked(&self) -> Result<usize> {
+        self.shared.config.metrics.emit(
+            Event::new(Component::Replica, EventKind::Resync)
+                .node(self.shared.config.replica.value() as usize),
+        );
         {
             let mut state = self.shared.state.lock();
             state.stats.resyncs += 1;
@@ -461,6 +470,11 @@ impl Proxy {
         state.grouped_install_active = false;
         applied?;
         metrics.add(CounterId::RemoteInstalls, to_apply.len() as u64);
+        metrics.emit(
+            Event::new(Component::Replica, EventKind::InstallRemote)
+                .version(target_version.0)
+                .node(self.shared.config.replica.value() as usize),
+        );
         state.stats.remote_writesets_applied += to_apply.len() as u64;
         state.stats.remote_apply_transactions += 1;
         Ok(Some(to_apply.len()))
@@ -752,6 +766,7 @@ impl Proxy {
             let remote = item.remote;
             let order_index = item.order_index;
             let metrics = Arc::clone(&self.shared.config.metrics);
+            let node = self.shared.config.replica.value() as usize;
             applied += 1;
             handles.push(thread::spawn(move || {
                 let install_started = metrics.is_enabled().then(Instant::now);
@@ -760,6 +775,11 @@ impl Proxy {
                 if let (Some(started), Ok(_)) = (install_started, &result) {
                     metrics.record_stage(Stage::Install, started.elapsed());
                     metrics.incr(CounterId::RemoteInstalls);
+                    metrics.emit(
+                        Event::new(Component::Replica, EventKind::InstallRemote)
+                            .version(remote.commit_version.0)
+                            .node(node),
+                    );
                 }
                 result
             }));
@@ -1013,9 +1033,25 @@ impl ProxyTransaction {
         let proxy = self.proxy.clone();
         let result = proxy.commit_transaction(&self, &mut timer);
         let metrics = &proxy.shared.config.metrics;
+        let node = proxy.shared.config.replica.value() as usize;
         match &result {
-            Ok(_) => metrics.incr(CounterId::TxCommitted),
-            Err(_) => metrics.incr(CounterId::TxAborted),
+            Ok(outcome) => {
+                metrics.incr(CounterId::TxCommitted);
+                metrics.emit(
+                    Event::new(Component::Proxy, EventKind::TxCommit)
+                        .tx(self.tx.id().0)
+                        .version(outcome.commit_version.map_or(0, |v| v.0))
+                        .node(node),
+                );
+            }
+            Err(_) => {
+                metrics.incr(CounterId::TxAborted);
+                metrics.emit(
+                    Event::new(Component::Proxy, EventKind::TxAbort)
+                        .tx(self.tx.id().0)
+                        .node(node),
+                );
+            }
         }
         if let Some(timer) = timer {
             metrics.record_trace(timer.finish());
@@ -1025,11 +1061,13 @@ impl ProxyTransaction {
 
     /// Aborts the transaction.
     pub fn abort(self) {
-        self.proxy
-            .shared
-            .config
-            .metrics
-            .incr(CounterId::TxAborted);
+        let metrics = &self.proxy.shared.config.metrics;
+        metrics.incr(CounterId::TxAborted);
+        metrics.emit(
+            Event::new(Component::Proxy, EventKind::TxAbort)
+                .tx(self.tx.id().0)
+                .node(self.proxy.shared.config.replica.value() as usize),
+        );
         self.tx.abort();
         self.proxy.record_engine_abort();
     }

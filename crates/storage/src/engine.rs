@@ -32,8 +32,8 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex, RwLock};
 use tashkent_common::metrics::Stage;
 use tashkent_common::{
-    Error, MetricsRegistry, Result, RowKey, SyncMode, TableId, TxId, Value, Version, WriteOp,
-    WriteSet,
+    Component, Error, Event, EventKind, MetricsRegistry, Result, RowKey, SyncMode, TableId, TxId,
+    Value, Version, WriteOp, WriteSet,
 };
 
 use crate::disk::{DiskConfig, DiskStats, LogDevice, SimulatedDisk};
@@ -921,6 +921,11 @@ impl Database {
                 .metrics
                 .record_stage(Stage::Announce, started.elapsed());
         }
+        self.shared.metrics.emit(
+            Event::new(Component::Engine, EventKind::Announce)
+                .tx(id.0)
+                .version(target.0),
+        );
         self.install(&mut data, &buffer, target);
         drop(data);
         self.shared.announced.notify_all();
@@ -1006,6 +1011,11 @@ impl Database {
                 .metrics
                 .record_stage(Stage::Announce, started.elapsed());
         }
+        self.shared.metrics.emit(
+            Event::new(Component::Engine, EventKind::Announce)
+                .tx(id.0)
+                .version(version.0),
+        );
         self.install(&mut data, &buffer, version);
         data.announce_counter = order_index;
         drop(data);

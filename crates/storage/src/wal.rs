@@ -27,7 +27,9 @@ use std::sync::Arc;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::{Condvar, Mutex};
 use tashkent_common::metrics::{CounterId, GaugeId};
-use tashkent_common::{Error, MetricsRegistry, Result, Version, WriteSet};
+use tashkent_common::{
+    Component, Error, Event, EventKind, MetricsRegistry, Result, Version, WriteSet,
+};
 
 use crate::codec;
 use crate::disk::{DiskStats, LogDevice};
@@ -234,6 +236,8 @@ impl WalWriter {
             drop(state);
 
             self.metrics.incr(CounterId::WalFsyncs);
+            self.metrics
+                .emit(Event::new(Component::Wal, EventKind::WalFsync));
             // Gauge value = size of the batch this fsync covers; the gauge's
             // high-water mark therefore tracks the largest group commit.
             self.metrics

@@ -7,7 +7,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use tashkent::Cluster;
 use tashkent_common::{ClientId, LatencyHistogram};
 
@@ -144,7 +144,21 @@ pub fn run_driver(cluster: &Arc<Cluster>, workload: &Arc<dyn Workload>, config: 
                             }
                             report.latency.record(begun.elapsed());
                         }
-                        Err(e) if e.is_retryable_abort() => report.aborted += 1,
+                        Err(e) if e.is_retryable_abort() => {
+                            report.aborted += 1;
+                            // Randomized backoff before the retry.  Without
+                            // it, clients aborted on the same hot rows
+                            // re-certify in lockstep and keep colliding — a
+                            // retry convoy: the flight recorder shows a
+                            // persistent per-sample abort trickle and a
+                            // 2–3x certify tail for the whole run (the
+                            // TPC-B slow mode in ROADMAP).  Tens of
+                            // microseconds of jitter de-phases the
+                            // convoy at negligible latency cost.
+                            thread::sleep(Duration::from_micros(
+                                10 + rng.gen_range(0..90u64),
+                            ));
+                        }
                         Err(e) if resilient && e.is_unavailable() => {
                             // A component is down (fault injection): back
                             // off and retry until it recovers or the run
