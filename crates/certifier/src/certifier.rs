@@ -24,10 +24,64 @@ use tashkent_common::metrics::{CounterId, GaugeId, Stage};
 use tashkent_common::{
     Component, Error, Event, EventKind, MetricsRegistry, ReplicaId, Result, Version, WriteSet,
 };
+use tashkent_storage::checkpoint::CheckpointStore;
 use tashkent_storage::disk::DiskConfig;
+use tashkent_storage::wal::WalRecord;
 
 use crate::log::CertifierLog;
 use crate::paxos::{CertifierNodeId, ReplicatedLog, ReplicatedLogStats};
+
+/// Encodes a certifier checkpoint payload: the truncation floor followed by
+/// the log entries above it, each framed as a WAL commit record (the same
+/// checksummed frame the durable log uses).
+#[must_use]
+pub fn encode_checkpoint_payload(floor: Version, entries: &[(Version, Arc<WriteSet>)]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + entries.len() * 64);
+    payload.extend_from_slice(&floor.0.to_be_bytes());
+    for (version, writeset) in entries {
+        let record = WalRecord::Commit {
+            version: *version,
+            writeset: (**writeset).clone(),
+        };
+        payload.extend_from_slice(&record.encode());
+    }
+    payload
+}
+
+/// Decodes a certifier checkpoint payload back into its floor and entries.
+///
+/// # Errors
+///
+/// Returns [`Error::Corruption`] if the payload is truncated or a record
+/// frame fails its checksum.
+pub fn decode_checkpoint_payload(bytes: &[u8]) -> Result<(Version, Vec<(Version, WriteSet)>)> {
+    if bytes.len() < 8 {
+        return Err(Error::Corruption(
+            "truncated certifier checkpoint payload".into(),
+        ));
+    }
+    let floor = Version(u64::from_be_bytes(bytes[0..8].try_into().unwrap()));
+    // Unlike WAL replay, a checkpoint image admits no torn tail: every byte
+    // must decode, or the image is corrupt.
+    let mut buf = bytes::Bytes::copy_from_slice(&bytes[8..]);
+    let mut entries = Vec::new();
+    loop {
+        use bytes::Buf as _;
+        if buf.remaining() == 0 {
+            break;
+        }
+        match WalRecord::decode_from(&mut buf)? {
+            Some(WalRecord::Commit { version, writeset }) => entries.push((version, writeset)),
+            Some(WalRecord::Checkpoint { .. }) => {}
+            None => {
+                return Err(Error::Corruption(
+                    "truncated record frame in certifier checkpoint payload".into(),
+                ));
+            }
+        }
+    }
+    Ok((floor, entries))
+}
 
 /// Configuration of the certifier component.
 #[derive(Debug, Clone)]
@@ -163,6 +217,7 @@ struct CertifierInner {
 pub struct Certifier {
     inner: Mutex<CertifierInner>,
     replicated: ReplicatedLog,
+    checkpoints: CheckpointStore,
     forced_abort_rate: f64,
     metrics: Arc<MetricsRegistry>,
 }
@@ -189,6 +244,7 @@ impl Certifier {
                 forced_aborts: 0,
             }),
             replicated: ReplicatedLog::new(config.nodes, config.disk, config.durable),
+            checkpoints: CheckpointStore::new(),
             forced_abort_rate: config.forced_abort_rate.clamp(0.0, 1.0),
             metrics: config.metrics,
         }
@@ -211,6 +267,118 @@ impl Certifier {
             let _ = certifier.replicated.append(*version, writeset);
         }
         certifier
+    }
+
+    /// Bootstraps a certifier from a sealed checkpoint image plus the log
+    /// suffix committed after it (record-range incremental state transfer:
+    /// the joiner fetches the newest checkpoint and only the records past
+    /// it, not the full history).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] if the checkpoint payload fails its
+    /// frame checks.
+    pub fn from_checkpoint(
+        config: CertifierConfig,
+        checkpoint_payload: &[u8],
+        suffix: &[(Version, WriteSet)],
+    ) -> Result<Self> {
+        let (floor, entries) = decode_checkpoint_payload(checkpoint_payload)?;
+        // Versions at or below the image's newest entry (or its floor, if
+        // the image is empty) are already covered; only newer suffix records
+        // are applied.
+        let covered = entries.last().map_or(floor, |(last, _)| *last);
+        let tail = suffix.iter().filter(|(version, _)| *version > covered);
+        let certifier = Certifier::new(config);
+        {
+            let mut inner = certifier.inner.lock();
+            inner.log.restore_floor(floor);
+            for (version, writeset) in entries.iter().chain(tail.clone()) {
+                inner.log.append_at(*version, Arc::new(writeset.clone()));
+            }
+        }
+        // Re-persist the entries above the floor so the new group's disks
+        // hold exactly the retained suffix.
+        for (version, writeset) in entries.iter().chain(tail) {
+            let _ = certifier.replicated.append(*version, writeset);
+        }
+        certifier.replicated.truncate_below(floor)?;
+        // The transferred image authorizes the restored floor.
+        certifier
+            .checkpoints
+            .seal(certifier.system_version(), checkpoint_payload);
+        Ok(certifier)
+    }
+
+    /// Seals a durable checkpoint of the certified log: the current
+    /// truncation floor plus every entry above it, stored as a versioned,
+    /// checksummed image behind an atomic manifest flip.  Returns the
+    /// version the checkpoint covers up to.
+    pub fn seal_checkpoint(&self) -> Version {
+        let (version, payload) = {
+            let inner = self.inner.lock();
+            let floor = inner.log.floor();
+            let entries = inner.log.entries_after(floor);
+            (
+                inner.log.system_version(),
+                encode_checkpoint_payload(floor, &entries),
+            )
+        };
+        self.checkpoints.seal(version, &payload);
+        version
+    }
+
+    /// Drops log entries at or below `watermark` from the in-memory log and
+    /// every up node's durable log.  The watermark is clamped to the newest
+    /// sealed checkpoint version, so no record is ever dropped before a
+    /// checkpoint covers it.  Returns the number of in-memory entries
+    /// discarded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates durable-log rewrite failures.
+    pub fn truncate_below(&self, watermark: Version) -> Result<usize> {
+        let bound = watermark.min(self.checkpoints.latest_version());
+        if bound.is_zero() {
+            return Ok(0);
+        }
+        let dropped = {
+            let mut inner = self.inner.lock();
+            inner.log.truncate_up_to(bound)
+        };
+        // New appends are strictly above `bound` (the floor carries the
+        // system version), so trimming the durable log outside the in-memory
+        // lock cannot race a record back below the floor.
+        self.replicated.truncate_below(bound)?;
+        Ok(dropped)
+    }
+
+    /// The truncation floor: certification requests whose snapshot lies
+    /// below it can no longer be checked and are conservatively aborted.
+    #[must_use]
+    pub fn truncation_floor(&self) -> Version {
+        self.inner.lock().log.floor()
+    }
+
+    /// The version covered by the newest sealed checkpoint
+    /// ([`Version::ZERO`] before the first seal).
+    #[must_use]
+    pub fn checkpoint_version(&self) -> Version {
+        self.checkpoints.latest_version()
+    }
+
+    /// The newest sealed checkpoint image's payload, if any (state transfer
+    /// to a joining certifier).
+    #[must_use]
+    pub fn latest_checkpoint_payload(&self) -> Option<Vec<u8>> {
+        self.checkpoints.latest().map(|sealed| sealed.payload)
+    }
+
+    /// Number of entries currently held in the in-memory certified log
+    /// (bounded-memory assertions).
+    #[must_use]
+    pub fn log_len(&self) -> usize {
+        self.inner.lock().log.len()
     }
 
     /// The global system version (number of committed update transactions).
@@ -272,8 +440,21 @@ impl Certifier {
         }
         // Inbox depth: requests currently inside certification.
         let _inflight = self.metrics.gauge_guard(GaugeId::CertifierInflight);
-        self.metrics.incr(CounterId::CertifyRequests);
         let mut inner = self.inner.lock();
+        let floor = inner.log.floor();
+        if request.replica_version < floor {
+            // The records in (replica_version, floor] are truncated: the
+            // certifier cannot serve a gap-free remote suffix, and silently
+            // skipping the gap would diverge the replica.  The caller must
+            // bootstrap from a checkpoint (state transfer) instead.
+            return Err(Error::Unavailable(format!(
+                "replica {} at version {} is below the certifier truncation floor {floor}; \
+                 state transfer required",
+                request.replica.value(),
+                request.replica_version
+            )));
+        }
+        self.metrics.incr(CounterId::CertifyRequests);
         inner.requests += 1;
 
         // Remote writesets the replica has not seen yet, gathered before the
@@ -290,6 +471,30 @@ impl Certifier {
                 commit_version,
                 writeset,
                 conflict_free_to,
+            });
+        }
+
+        // A snapshot older than the truncation floor can no longer be
+        // certified — the suffix it must be checked against is partly gone.
+        // Abort conservatively: the abort is retryable with a fresh
+        // snapshot, and never wrong (committing without the check could be).
+        if request.start_version < floor {
+            inner.conflict_aborts += 1;
+            self.metrics.incr(CounterId::CertifyAborts);
+            self.metrics
+                .emit(Event::new(Component::Certifier, EventKind::CertifyAbort).shard(0));
+            let system_version = inner.log.system_version();
+            return Ok(CertificationResponse {
+                decision: CertificationDecision::Abort {
+                    reason: format!(
+                        "snapshot {} below truncation floor {floor}",
+                        request.start_version
+                    ),
+                    forced: false,
+                },
+                commit_version: None,
+                remote_writesets,
+                system_version,
             });
         }
 
@@ -577,6 +782,125 @@ mod tests {
         // entries.
         let response = recovered.certify(&request(0, 6, &[1])).unwrap();
         assert!(!response.decision.is_commit());
+    }
+
+    #[test]
+    fn checkpoint_payload_round_trips() {
+        let entries: Vec<(Version, Arc<WriteSet>)> = (3..=5)
+            .map(|v| (Version(v), Arc::new(ws(&[v as i64]))))
+            .collect();
+        let payload = encode_checkpoint_payload(Version(2), &entries);
+        let (floor, decoded) = decode_checkpoint_payload(&payload).unwrap();
+        assert_eq!(floor, Version(2));
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0].0, Version(3));
+        assert_eq!(decoded[2].0, Version(5));
+        // Truncated payloads are rejected loudly.
+        assert!(matches!(
+            decode_checkpoint_payload(&payload[..7]),
+            Err(Error::Corruption(_))
+        ));
+        assert!(matches!(
+            decode_checkpoint_payload(&payload[..payload.len() - 1]),
+            Err(Error::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_clamped_to_the_sealed_checkpoint() {
+        let certifier = Certifier::new(CertifierConfig::default());
+        for k in 1..=6 {
+            certifier.certify(&request(k - 1, k - 1, &[k as i64])).unwrap();
+        }
+        // No checkpoint sealed yet: nothing may be dropped.
+        assert_eq!(certifier.truncate_below(Version(4)).unwrap(), 0);
+        assert_eq!(certifier.truncation_floor(), Version::ZERO);
+        // Seal at version 6, then truncate with a watermark of 4.
+        assert_eq!(certifier.seal_checkpoint(), Version(6));
+        assert_eq!(certifier.checkpoint_version(), Version(6));
+        assert_eq!(certifier.truncate_below(Version(4)).unwrap(), 4);
+        assert_eq!(certifier.truncation_floor(), Version(4));
+        assert_eq!(certifier.log_len(), 2);
+        // The durable log was trimmed too.
+        let durable = certifier.durable_entries(certifier.leader()).unwrap();
+        let versions: Vec<u64> = durable.iter().map(|(v, _)| v.value()).collect();
+        assert_eq!(versions, vec![5, 6]);
+    }
+
+    #[test]
+    fn certification_above_the_floor_still_detects_conflicts() {
+        let certifier = Certifier::new(CertifierConfig::default());
+        for k in 1..=6 {
+            certifier.certify(&request(k - 1, k - 1, &[k as i64])).unwrap();
+        }
+        certifier.seal_checkpoint();
+        certifier.truncate_below(Version(4)).unwrap();
+        // Key 5 committed at v5 (above the floor): a stale snapshot at v4
+        // still conflicts with it.
+        let response = certifier.certify(&request(4, 4, &[5])).unwrap();
+        assert!(!response.decision.is_commit());
+        // A fresh snapshot commits and versions keep advancing densely.
+        let response = certifier.certify(&request(6, 6, &[7])).unwrap();
+        assert_eq!(response.commit_version, Some(Version(7)));
+    }
+
+    #[test]
+    fn requests_below_the_floor_are_refused_conservatively() {
+        let certifier = Certifier::new(CertifierConfig::default());
+        for k in 1..=6 {
+            certifier.certify(&request(k - 1, k - 1, &[k as i64])).unwrap();
+        }
+        certifier.seal_checkpoint();
+        certifier.truncate_below(Version(4)).unwrap();
+        // A snapshot below the floor aborts conservatively (retryable).
+        let response = certifier.certify(&request(3, 4, &[99])).unwrap();
+        assert!(matches!(
+            response.decision,
+            CertificationDecision::Abort { forced: false, .. }
+        ));
+        // A replica whose applied version is below the floor cannot be
+        // served a gap-free suffix: loud error, state transfer required.
+        assert!(matches!(
+            certifier.certify(&request(4, 3, &[99])),
+            Err(Error::Unavailable(_))
+        ));
+        let stats = certifier.stats();
+        assert_eq!(stats.conflict_aborts, 1);
+    }
+
+    #[test]
+    fn state_transfer_bootstraps_from_checkpoint_plus_suffix() {
+        let certifier = Certifier::new(CertifierConfig::default());
+        for k in 1..=4 {
+            certifier.certify(&request(k - 1, k - 1, &[k as i64])).unwrap();
+        }
+        certifier.seal_checkpoint();
+        certifier.truncate_below(Version(2)).unwrap();
+        // Re-seal so the image records the trimmed floor, then commit two
+        // more transactions to form the suffix.
+        certifier.seal_checkpoint();
+        certifier.certify(&request(4, 4, &[5])).unwrap();
+        certifier.certify(&request(5, 5, &[6])).unwrap();
+
+        let payload = certifier.latest_checkpoint_payload().unwrap();
+        let suffix: Vec<(Version, WriteSet)> = certifier
+            .writesets_after(Version(4))
+            .into_iter()
+            .map(|r| (r.commit_version, (*r.writeset).clone()))
+            .collect();
+        let joiner =
+            Certifier::from_checkpoint(CertifierConfig::default(), &payload, &suffix).unwrap();
+        assert_eq!(joiner.system_version(), Version(6));
+        assert_eq!(joiner.truncation_floor(), Version(2));
+        // The joiner detects conflicts against transferred entries...
+        let response = joiner.certify(&request(4, 4, &[5])).unwrap();
+        assert!(!response.decision.is_commit());
+        // ...and keeps committing past the transferred history.
+        let response = joiner.certify(&request(6, 6, &[7])).unwrap();
+        assert_eq!(response.commit_version, Some(Version(7)));
+        // Its durable log holds only the retained range.
+        let durable = joiner.durable_entries(joiner.leader()).unwrap();
+        assert_eq!(durable.first().unwrap().0, Version(3));
     }
 
     #[test]

@@ -55,6 +55,14 @@ impl LogEntry {
 #[derive(Debug, Default)]
 pub struct CertifierLog {
     entries: Vec<LogEntry>,
+    /// Truncation floor: every entry at or below this version has been
+    /// discarded (covered by a sealed checkpoint).  The floor carries the
+    /// system version across truncation — an emptied log does not fall back
+    /// to version zero — and bounds what certification can still answer:
+    /// a request whose start version lies below the floor must be
+    /// conservatively aborted, because the entries needed to certify it are
+    /// gone.
+    floor: Version,
 }
 
 impl CertifierLog {
@@ -64,12 +72,18 @@ impl CertifierLog {
         CertifierLog::default()
     }
 
-    /// The system version: the commit version of the newest entry.
+    /// The system version: the commit version of the newest entry, or the
+    /// truncation floor once everything has been trimmed away.
     #[must_use]
     pub fn system_version(&self) -> Version {
-        self.entries
-            .last()
-            .map_or(Version::ZERO, |e| e.commit_version)
+        self.entries.last().map_or(self.floor, |e| e.commit_version)
+    }
+
+    /// The truncation floor: entries at or below it are no longer in the
+    /// log.  [`Version::ZERO`] until the first truncation.
+    #[must_use]
+    pub fn floor(&self) -> Version {
+        self.floor
     }
 
     /// Number of certified writesets in the log.
@@ -229,12 +243,29 @@ impl CertifierLog {
         target
     }
 
-    /// Discards entries at or below `version` (log truncation after all
-    /// replicas have acknowledged them).  Returns the number discarded.
+    /// Discards entries at or below `version` (log truncation once a sealed
+    /// checkpoint and every live replica cover them).  Returns the number
+    /// discarded.  The floor never moves above the current system version,
+    /// so truncating "past the end" empties the log without inventing
+    /// versions that were never committed.
     pub fn truncate_up_to(&mut self, version: Version) -> usize {
+        let bound = version.min(self.system_version());
         let before = self.entries.len();
-        self.entries.retain(|e| e.commit_version > version);
+        self.entries.retain(|e| e.commit_version > bound);
+        self.floor = self.floor.max(bound);
         before - self.entries.len()
+    }
+
+    /// Restores the truncation floor when rebuilding a log from a sealed
+    /// checkpoint (incremental state transfer): the checkpoint's floor is
+    /// adopted directly instead of being clamped to the (possibly still
+    /// empty) log's system version.  The floor stays monotone.
+    pub fn restore_floor(&mut self, floor: Version) {
+        debug_assert!(
+            self.entries.first().is_none_or(|e| e.commit_version > floor),
+            "restored floor must lie below every entry"
+        );
+        self.floor = self.floor.max(floor);
     }
 
     fn suffix(&self, after: Version) -> impl Iterator<Item = &LogEntry> {
@@ -345,5 +376,24 @@ mod tests {
         assert_eq!(removed, 1);
         assert_eq!(log.len(), 1);
         assert_eq!(log.system_version(), Version(5));
+        assert_eq!(log.floor(), Version(3));
+    }
+
+    #[test]
+    fn truncation_floor_carries_the_system_version() {
+        let mut log = CertifierLog::new();
+        log.append(ws(0, &[1]), Version::ZERO); // v1
+        log.append(ws(0, &[2]), Version::ZERO); // v2
+        // Truncating past the end empties the log but the system version
+        // survives in the floor — the next append continues at v3, and the
+        // floor never claims versions that were never committed.
+        assert_eq!(log.truncate_up_to(Version(100)), 2);
+        assert!(log.is_empty());
+        assert_eq!(log.floor(), Version(2));
+        assert_eq!(log.system_version(), Version(2));
+        assert_eq!(log.append(ws(0, &[3]), Version(2)), Version(3));
+        // The floor is monotone: a smaller watermark cannot lower it.
+        assert_eq!(log.truncate_up_to(Version(1)), 0);
+        assert_eq!(log.floor(), Version(2));
     }
 }

@@ -82,6 +82,11 @@ pub struct ReplicatedLog {
     entries: Mutex<u64>,
     durable: bool,
     disk_config: DiskConfig,
+    /// Truncation floor: records at or below it have been trimmed from the
+    /// nodes' durable logs (they are covered by a sealed checkpoint).
+    /// Recovery uses it to drop stale below-floor records from rejoining
+    /// nodes so that all durable logs converge to the same trimmed suffix.
+    floor: Mutex<Version>,
     /// Serialises node recovery against in-flight appends: appends hold it
     /// shared (they still run — and group-commit — concurrently), recovery
     /// holds it exclusively.  Without it an append that observed the
@@ -117,8 +122,46 @@ impl ReplicatedLog {
             entries: Mutex::new(0),
             durable,
             disk_config,
+            floor: Mutex::new(Version::ZERO),
             membership: RwLock::new(()),
         }
+    }
+
+    /// The truncation floor: durable records at or below it are gone from
+    /// every up node's log.
+    #[must_use]
+    pub fn floor(&self) -> Version {
+        *self.floor.lock()
+    }
+
+    /// Trims every up node's durable log, dropping records at or below
+    /// `watermark`.  Returns the largest number of records dropped on any
+    /// one node (the logical trim size — nodes that recovered recently may
+    /// hold fewer droppable records than the leader).
+    ///
+    /// The caller must only pass watermarks covered by a sealed checkpoint;
+    /// nodes that are down keep their stale records until
+    /// [`ReplicatedLog::recover_node`] rewrites them against the floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] if a node's durable log cannot be
+    /// decoded.
+    pub fn truncate_below(&self, watermark: Version) -> Result<usize> {
+        // Exclusive membership: a concurrent recovery must not read a
+        // donor's log mid-rewrite.
+        let _membership = self.membership.write();
+        let mut dropped_max = 0usize;
+        for node in &self.nodes {
+            if !node.is_up() {
+                continue;
+            }
+            let dropped = node.wal.truncate_below(watermark)?;
+            dropped_max = dropped_max.max(dropped);
+        }
+        let mut floor = self.floor.lock();
+        *floor = (*floor).max(watermark);
+        Ok(dropped_max)
     }
 
     /// Majority size of the group.
@@ -231,50 +274,63 @@ impl ReplicatedLog {
         }
     }
 
-    /// Recovers a crashed node: the records it is missing are transferred
-    /// from an up node and made durable locally, then the node rejoins the
-    /// group.
+    /// Recovers a crashed node: its durable log is rewritten as the union of
+    /// a donor's records and its own records above the truncation floor,
+    /// then the node rejoins the group.
     ///
-    /// The transfer compares logs by *record* (commit version), not by byte
+    /// The transfer merges logs by *record* (commit version), not by byte
     /// length: concurrent appends reach different nodes' disks in slightly
     /// different orders, so equal-length prefixes need not hold equal
     /// content — a byte-suffix copy could duplicate records the node already
-    /// has while dropping the ones it missed.
+    /// has while dropping the ones it missed.  The full rewrite (rather than
+    /// appending the missing records) is what makes recovery compose with
+    /// truncation: stale below-floor records the node kept while it was down
+    /// are dropped, so every up node converges to the same trimmed suffix.
+    ///
+    /// **Total outage**: when *no* node is up (the whole group crashed), the
+    /// node restarts from the union of every node's durable log above the
+    /// floor — every majority-acknowledged record is durable on at least one
+    /// node, so the union is complete past the newest sealed checkpoint —
+    /// and becomes the leader of the restarted group.  Subsequently
+    /// recovering nodes then find a complete donor.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Unavailable`] if no up node exists to transfer state
-    /// from, [`Error::Corruption`] if either log fails to decode, or
+    /// Returns [`Error::Corruption`] if a log fails to decode, or
     /// [`Error::Protocol`] for an unknown node id.
     pub fn recover_node(&self, id: CertifierNodeId) -> Result<()> {
         // Exclusive: no append may straddle the transfer (see `membership`).
         let _membership = self.membership.write();
-        let donor = self
+        let floor = *self.floor.lock();
+        let node_index = self
             .nodes
             .iter()
-            .find(|n| n.is_up() && n.id != id)
-            .ok_or_else(|| Error::Unavailable("no up certifier to transfer state from".into()))?;
-        let node = self
-            .nodes
-            .iter()
-            .find(|n| n.id == id)
+            .position(|n| n.id == id)
             .ok_or_else(|| Error::Protocol(format!("unknown certifier node {id}")))?;
-        let have: std::collections::HashSet<Version> =
-            WalRecord::decode_all(&node.device.durable_contents())?
-                .iter()
-                .map(WalRecord::version)
-                .collect();
-        let mut transferred = false;
-        for record in WalRecord::decode_all(&donor.device.durable_contents())? {
-            if !have.contains(&record.version()) {
-                node.device.append(&record.encode());
-                transferred = true;
+        let node = &self.nodes[node_index];
+        let donor = self.nodes.iter().find(|n| n.is_up() && n.id != id);
+        let total_outage = donor.is_none();
+        let mut merged: std::collections::BTreeMap<Version, WalRecord> =
+            std::collections::BTreeMap::new();
+        let sources: Vec<&Arc<Node>> = match donor {
+            Some(donor) => vec![donor, node],
+            // Total outage: every node's durable log contributes.
+            None => self.nodes.iter().collect(),
+        };
+        for source in sources {
+            for record in WalRecord::decode_all(&source.device.durable_contents())? {
+                if record.version() > floor {
+                    merged.entry(record.version()).or_insert(record);
+                }
             }
         }
-        if transferred {
-            node.device.fsync(1);
-        }
+        let records: Vec<WalRecord> = merged.into_values().collect();
+        node.wal.rewrite(&records);
         node.up.store(true, Ordering::SeqCst);
+        if total_outage {
+            // First node back after a total outage leads the restarted group.
+            *self.leader.lock() = node_index;
+        }
         Ok(())
     }
 
@@ -392,6 +448,62 @@ mod tests {
         assert_eq!(entries.len(), 8);
         assert_eq!(entries.last().unwrap().0, Version(8));
         assert_eq!(log.up_count(), 3);
+    }
+
+    #[test]
+    fn total_outage_restart_rebuilds_from_the_union_of_all_logs() {
+        let log = ReplicatedLog::new(3, DiskConfig::default(), true);
+        for i in 1..=3 {
+            log.append(Version(i), &ws(i as i64)).unwrap();
+        }
+        // Node 2 misses entries 4..=5, then the whole group goes down.
+        log.crash_node(CertifierNodeId(2));
+        for i in 4..=5 {
+            log.append(Version(i), &ws(i as i64)).unwrap();
+        }
+        log.crash_node(CertifierNodeId(1));
+        log.crash_node(CertifierNodeId(0));
+        assert_eq!(log.up_count(), 0);
+        assert!(!log.is_available());
+        // Restart from the stale node: the union of every node's durable log
+        // fills in the records it missed, and it leads the restarted group.
+        log.recover_node(CertifierNodeId(2)).unwrap();
+        assert_eq!(log.leader(), CertifierNodeId(2));
+        let entries = log.durable_entries(CertifierNodeId(2)).unwrap();
+        assert_eq!(entries.len(), 5);
+        assert_eq!(entries.last().unwrap().0, Version(5));
+        // The rest of the group recovers from it as donor; progress resumes.
+        log.recover_node(CertifierNodeId(0)).unwrap();
+        log.recover_node(CertifierNodeId(1)).unwrap();
+        assert!(log.is_available());
+        log.append(Version(6), &ws(6)).unwrap();
+        for n in 0..3 {
+            assert_eq!(log.durable_entries(CertifierNodeId(n)).unwrap().len(), 6);
+        }
+    }
+
+    #[test]
+    fn truncation_trims_up_nodes_and_recovery_respects_the_floor() {
+        let log = ReplicatedLog::new(3, DiskConfig::default(), true);
+        for i in 1..=6 {
+            log.append(Version(i), &ws(i as i64)).unwrap();
+        }
+        // Node 2 goes down holding the full log, then the rest is trimmed.
+        log.crash_node(CertifierNodeId(2));
+        let dropped = log.truncate_below(Version(4)).unwrap();
+        assert_eq!(dropped, 4);
+        assert_eq!(log.floor(), Version(4));
+        for n in 0..2 {
+            let entries = log.durable_entries(CertifierNodeId(n)).unwrap();
+            assert_eq!(entries.first().unwrap().0, Version(5));
+            assert_eq!(entries.len(), 2);
+        }
+        // Recovery rewrites the rejoining node against the floor: its stale
+        // below-floor records are dropped, converging all durable logs.
+        log.recover_node(CertifierNodeId(2)).unwrap();
+        let entries = log.durable_entries(CertifierNodeId(2)).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries.first().unwrap().0, Version(5));
     }
 
     #[test]

@@ -49,9 +49,11 @@ use tashkent_common::{
     WriteSet,
 };
 
+use tashkent_storage::checkpoint::CheckpointStore;
+
 use crate::certifier::{
-    CertificationDecision, CertificationRequest, CertificationResponse, CertifierConfig,
-    CertifierStats, RemoteWriteSet,
+    encode_checkpoint_payload, CertificationDecision, CertificationRequest, CertificationResponse,
+    CertifierConfig, CertifierStats, RemoteWriteSet,
 };
 use crate::log::CertifierLog;
 use crate::paxos::{CertifierNodeId, ReplicatedLog, ReplicatedLogStats};
@@ -87,6 +89,9 @@ struct Shard {
     log: Mutex<CertifierLog>,
     /// This shard's majority-replicated durable log.
     replicated: ReplicatedLog,
+    /// Sealed checkpoint images of this shard's log; the newest one bounds
+    /// how far this shard may truncate.
+    checkpoints: CheckpointStore,
 }
 
 /// The global sequencer: version counter, forced-abort randomness and
@@ -236,6 +241,7 @@ impl ShardedCertifier {
                     config.base.disk.clone(),
                     config.base.durable,
                 ),
+                checkpoints: CheckpointStore::new(),
             })
             .collect();
         ShardedCertifier {
@@ -407,6 +413,19 @@ impl ShardedCertifier {
             }
         }
 
+        // The merged remote stream spans every shard: if any shard has
+        // trimmed past the replica's version, the gap-free suffix this
+        // response promises cannot be assembled.  State transfer instead.
+        let floor = self.truncation_floor();
+        if request.replica_version < floor {
+            return Err(Error::Unavailable(format!(
+                "replica {} at version {} is below the certifier truncation floor {floor}; \
+                 state transfer required",
+                request.replica.value(),
+                request.replica_version
+            )));
+        }
+
         // Inbox depth: requests currently inside certification (across all
         // shards — per-shard depth would need per-shard guards).
         let _inflight = self.metrics.gauge_guard(GaugeId::CertifierInflight);
@@ -421,6 +440,14 @@ impl ShardedCertifier {
             .map(|s| self.shards[s.index()].log.lock())
             .collect();
 
+        // A snapshot below an owning shard's truncation floor can no longer
+        // be certified there — part of the suffix it must be checked against
+        // is gone.  Checked under the shard guards (truncation takes the
+        // same locks), and answered with a conservative, retryable abort.
+        let floored = guards
+            .iter()
+            .any(|log| request.start_version < log.floor());
+
         // Intersection test against every owning shard's log suffix.  The
         // oldest conflicting version across shards matches the unsharded
         // certifier's forward scan.
@@ -434,7 +461,7 @@ impl ShardedCertifier {
         // cluster-wide serialization point stays as short as version
         // assignment plus per-shard Vec pushes.  Wasted only on forced
         // aborts, which are an experiment knob.
-        let commit_material = if conflict.is_none() {
+        let commit_material = if conflict.is_none() && !floored {
             let writeset = std::sync::Arc::new(request.writeset.clone());
             let footprint = std::sync::Arc::new(writeset.footprint());
             Some((writeset, footprint))
@@ -446,7 +473,16 @@ impl ShardedCertifier {
         // holding it — the sequencer is the innermost lock).
         let mut sequencer = self.sequencer.lock();
         sequencer.requests += 1;
-        let decision = if let Some(conflict_version) = conflict {
+        let decision = if floored {
+            sequencer.conflict_aborts += 1;
+            Some(CertificationDecision::Abort {
+                reason: format!(
+                    "snapshot {} below truncation floor",
+                    request.start_version
+                ),
+                forced: false,
+            })
+        } else if let Some(conflict_version) = conflict {
             sequencer.conflict_aborts += 1;
             Some(CertificationDecision::Abort {
                 reason: format!("write-write conflict with {conflict_version}"),
@@ -552,6 +588,78 @@ impl ShardedCertifier {
                 .remote_writesets_between(request.replica_version, commit_version.prev()),
             system_version,
         })
+    }
+
+    /// Seals a durable checkpoint of every shard's certified log.  Each
+    /// shard's image holds its truncation floor plus its entries above it,
+    /// and is stamped with the global system version sampled *before* the
+    /// per-shard seals — entries that land concurrently are included in some
+    /// image but never claimed, so the stamp is always a safe lower bound.
+    /// Returns the stamped version.
+    pub fn seal_checkpoint(&self) -> Version {
+        let version = self.sequencer.lock().version;
+        for shard in &self.shards {
+            let payload = {
+                let log = shard.log.lock();
+                let floor = log.floor();
+                encode_checkpoint_payload(floor, &log.entries_after(floor))
+            };
+            shard.checkpoints.seal(version, &payload);
+        }
+        version
+    }
+
+    /// Drops log entries at or below `watermark` from every shard's
+    /// in-memory and durable logs.  Per shard, the watermark is clamped to
+    /// that shard's newest sealed checkpoint version, so no record is ever
+    /// dropped before an image covers it.  Returns the total number of
+    /// in-memory entries discarded across shards (a multi-shard entry
+    /// counts once per owning shard, matching what memory is freed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates durable-log rewrite failures.
+    pub fn truncate_below(&self, watermark: Version) -> Result<usize> {
+        let mut dropped = 0usize;
+        for shard in &self.shards {
+            let bound = watermark.min(shard.checkpoints.latest_version());
+            if bound.is_zero() {
+                continue;
+            }
+            dropped += shard.log.lock().truncate_up_to(bound);
+            shard.replicated.truncate_below(bound)?;
+        }
+        Ok(dropped)
+    }
+
+    /// The truncation floor: the highest per-shard floor.  A certification
+    /// or refresh reaching below it cannot be served from the logs any more.
+    #[must_use]
+    pub fn truncation_floor(&self) -> Version {
+        self.shards
+            .iter()
+            .map(|shard| shard.log.lock().floor())
+            .max()
+            .unwrap_or(Version::ZERO)
+    }
+
+    /// The version every shard's newest sealed checkpoint covers up to (the
+    /// minimum across shards; [`Version::ZERO`] before the first seal).
+    #[must_use]
+    pub fn checkpoint_version(&self) -> Version {
+        self.shards
+            .iter()
+            .map(|shard| shard.checkpoints.latest_version())
+            .min()
+            .unwrap_or(Version::ZERO)
+    }
+
+    /// Total number of entries held across every shard's in-memory log
+    /// (bounded-memory assertions; multi-shard entries count once per
+    /// owning shard).
+    #[must_use]
+    pub fn log_len(&self) -> usize {
+        self.shards.iter().map(|shard| shard.log.lock().len()).sum()
     }
 
     /// Per-shard version streams after `since` (exclusive): the fan-out half
@@ -923,6 +1031,74 @@ mod tests {
             }
         });
         assert_eq!(certifier.stats().commits, 800);
+    }
+
+    #[test]
+    fn truncation_trims_every_shard_and_guards_stale_requests() {
+        let certifier = sharded(4);
+        for k in 1..=12 {
+            let version = certifier.system_version().value();
+            certifier.certify(&request(version, version, &[k])).unwrap();
+        }
+        // Nothing may be trimmed before a checkpoint authorizes it.
+        assert_eq!(certifier.truncate_below(Version(8)).unwrap(), 0);
+        assert_eq!(certifier.seal_checkpoint(), Version(12));
+        assert_eq!(certifier.checkpoint_version(), Version(12));
+        let dropped = certifier.truncate_below(Version(8)).unwrap();
+        assert!(dropped > 0, "some shard entries must be trimmed");
+        assert!(certifier.truncation_floor() <= Version(8));
+        assert!(certifier.log_len() >= 4, "entries above the watermark survive");
+        // The merged stream still reproduces the retained suffix densely.
+        let versions: Vec<u64> = certifier
+            .writesets_after(Version(8))
+            .iter()
+            .map(|r| r.commit_version.value())
+            .collect();
+        assert_eq!(versions, vec![9, 10, 11, 12]);
+        // A snapshot below an owning shard's floor aborts conservatively.
+        // Writing every key guarantees the max-floor shard is among the
+        // owners, and the floor guard fires before the intersection test.
+        let floor = certifier.truncation_floor();
+        assert!(floor > Version::ZERO);
+        let all_keys: Vec<i64> = (1..=12).collect();
+        let response = certifier
+            .certify(&request(floor.value() - 1, 12, &all_keys))
+            .unwrap();
+        match response.decision {
+            CertificationDecision::Abort { ref reason, forced } => {
+                assert!(!forced);
+                assert!(reason.contains("truncation floor"), "reason: {reason}");
+            }
+            CertificationDecision::Commit => panic!("stale snapshot must not commit"),
+        }
+        // A replica below the floor gets a loud state-transfer error.
+        assert!(matches!(
+            certifier.certify(&request(12, floor.value().saturating_sub(1), &[99])),
+            Err(Error::Unavailable(_))
+        ));
+        // Fresh snapshots keep committing with dense versions.
+        let response = certifier.certify(&request(12, 12, &[50])).unwrap();
+        assert_eq!(response.commit_version, Some(Version(13)));
+    }
+
+    #[test]
+    fn full_truncation_bounds_memory_and_preserves_progress() {
+        let certifier = sharded(2);
+        for k in 1..=10 {
+            let version = certifier.system_version().value();
+            certifier.certify(&request(version, version, &[k])).unwrap();
+        }
+        certifier.seal_checkpoint();
+        certifier.truncate_below(certifier.system_version()).unwrap();
+        assert_eq!(certifier.log_len(), 0, "fully covered logs trim to empty");
+        // Durable logs are trimmed too.
+        for shard in [ShardId(0), ShardId(1)] {
+            let leader = certifier.shard_leader(shard);
+            assert!(certifier.shard_durable_entries(shard, leader).unwrap().is_empty());
+        }
+        // The system version survives in the floors: the next commit is v11.
+        let response = certifier.certify(&request(10, 10, &[77])).unwrap();
+        assert_eq!(response.commit_version, Some(Version(11)));
     }
 
     #[test]

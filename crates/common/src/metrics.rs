@@ -102,7 +102,7 @@ impl Stage {
 }
 
 /// Number of defined counters.
-pub const COUNTER_COUNT: usize = 11;
+pub const COUNTER_COUNT: usize = 14;
 
 /// A monotonic event counter of the registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -129,6 +129,12 @@ pub enum CounterId {
     RemoteInstalls,
     /// Lock acquisitions that had to block on a conflicting holder.
     LockWaits,
+    /// Checkpoint images sealed (replica baselines and certifier shards).
+    CheckpointsSealed,
+    /// Certified-log entries discarded by watermark-driven truncation.
+    TrimmedLogEntries,
+    /// Replica WAL records discarded by watermark-driven truncation.
+    TrimmedWalRecords,
 }
 
 impl CounterId {
@@ -145,6 +151,9 @@ impl CounterId {
         CounterId::WalRecords,
         CounterId::RemoteInstalls,
         CounterId::LockWaits,
+        CounterId::CheckpointsSealed,
+        CounterId::TrimmedLogEntries,
+        CounterId::TrimmedWalRecords,
     ];
 
     /// Dense index of this counter.
@@ -162,6 +171,9 @@ impl CounterId {
             CounterId::WalRecords => 8,
             CounterId::RemoteInstalls => 9,
             CounterId::LockWaits => 10,
+            CounterId::CheckpointsSealed => 11,
+            CounterId::TrimmedLogEntries => 12,
+            CounterId::TrimmedWalRecords => 13,
         }
     }
 
@@ -180,12 +192,15 @@ impl CounterId {
             CounterId::WalRecords => "wal_records",
             CounterId::RemoteInstalls => "remote_installs",
             CounterId::LockWaits => "lock_waits",
+            CounterId::CheckpointsSealed => "checkpoints_sealed",
+            CounterId::TrimmedLogEntries => "trimmed_log_entries",
+            CounterId::TrimmedWalRecords => "trimmed_wal_records",
         }
     }
 }
 
 /// Number of defined gauges.
-pub const GAUGE_COUNT: usize = 3;
+pub const GAUGE_COUNT: usize = 4;
 
 /// A queue-depth gauge of the registry.  Every gauge also tracks its
 /// high-water mark since registry creation.
@@ -198,6 +213,10 @@ pub enum GaugeId {
     RemoteApplyBacklog,
     /// Records absorbed by the most recent WAL group-commit flush.
     WalGroupBatch,
+    /// The cluster-wide truncation watermark: the highest version every
+    /// live replica has applied *and* a sealed checkpoint covers (logs
+    /// below it may be trimmed).
+    TruncationWatermark,
 }
 
 impl GaugeId {
@@ -206,6 +225,7 @@ impl GaugeId {
         GaugeId::CertifierInflight,
         GaugeId::RemoteApplyBacklog,
         GaugeId::WalGroupBatch,
+        GaugeId::TruncationWatermark,
     ];
 
     /// Dense index of this gauge.
@@ -215,6 +235,7 @@ impl GaugeId {
             GaugeId::CertifierInflight => 0,
             GaugeId::RemoteApplyBacklog => 1,
             GaugeId::WalGroupBatch => 2,
+            GaugeId::TruncationWatermark => 3,
         }
     }
 
@@ -225,6 +246,7 @@ impl GaugeId {
             GaugeId::CertifierInflight => "certifier_inflight",
             GaugeId::RemoteApplyBacklog => "remote_apply_backlog",
             GaugeId::WalGroupBatch => "wal_group_batch",
+            GaugeId::TruncationWatermark => "truncation_watermark",
         }
     }
 }

@@ -233,16 +233,78 @@ impl Cluster {
             .expect("table was just created")
     }
 
-    /// Seals every replica's current state as its recovery baseline
-    /// ([`ReplicaNode::seal_baseline`]).  Workload loaders call this after
-    /// bulk-loading the initial database so that crash recovery — which
-    /// replays the WAL, the dumps and the certifier log, none of which the
-    /// bulk load went through — starts from the loaded state instead of an
-    /// empty one.
+    /// Seals every replica's current state as its recovery baseline.
+    /// Workload loaders call this after bulk-loading the initial database so
+    /// that crash recovery — which replays the WAL, the dumps and the
+    /// certifier log, none of which the bulk load went through — starts from
+    /// the loaded state instead of an empty one.
+    ///
+    /// Equivalent to [`Cluster::checkpoint`]; kept as the historical name of
+    /// the test hook this subsystem grew out of.
     pub fn seal_baseline(&self) {
-        for replica in &self.replicas {
-            replica.seal_baseline();
-        }
+        let _ = self.checkpoint();
+    }
+
+    /// Seals a durable checkpoint on every live replica and every certifier
+    /// shard: a versioned, checksummed image behind an atomic manifest flip.
+    /// Crashed replicas are skipped.  Returns the version stamped on the
+    /// certifier's images.
+    pub fn checkpoint(&self) -> Version {
+        crate::trimmer::seal_checkpoints(&self.certifier, &self.replicas, &self.metrics)
+    }
+
+    /// The cluster's current truncation watermark: the minimum of every live
+    /// replica's installed version, every replica's newest sealed checkpoint
+    /// (crashed ones included — they restart from it), and the certifier's
+    /// newest sealed checkpoint.  [`Version::ZERO`] until everyone has sealed
+    /// at least once.
+    #[must_use]
+    pub fn watermark(&self) -> Version {
+        crate::trimmer::watermark(&self.certifier, &self.replicas)
+    }
+
+    /// Truncates the certifier shard logs and every live replica's WAL below
+    /// the current watermark.  Returns `(certifier entries, WAL records)`
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates certifier group or WAL rewrite failures.
+    pub fn trim(&self) -> Result<(usize, usize)> {
+        crate::trimmer::trim(&self.certifier, &self.replicas, &self.metrics)
+    }
+
+    /// The truncation floor of the certifier's ordered log (highest version
+    /// trimmed away so far; [`Version::ZERO`] before any trim).
+    #[must_use]
+    pub fn truncation_floor(&self) -> Version {
+        self.certifier.truncation_floor()
+    }
+
+    /// Total retained entries across the certifier's shard logs
+    /// (bounded-memory assertions).
+    #[must_use]
+    pub fn certifier_log_len(&self) -> usize {
+        self.certifier.log_len()
+    }
+
+    /// Total bytes across every replica's write-ahead log
+    /// (bounded-memory assertions).
+    #[must_use]
+    pub fn wal_bytes(&self) -> u64 {
+        self.replicas.iter().map(|r| r.wal_size()).sum()
+    }
+
+    /// Starts a background [`Trimmer`](crate::trimmer::Trimmer) that seals
+    /// checkpoints and advances the truncation watermark every `interval`.
+    #[must_use]
+    pub fn start_trimmer(&self, interval: std::time::Duration) -> crate::trimmer::Trimmer {
+        crate::trimmer::Trimmer::start(
+            self.certifier.clone(),
+            self.replicas.iter().map(Arc::clone).collect(),
+            self.metrics(),
+            interval,
+        )
     }
 
     /// A client session bound to one replica (clients always talk to a single
@@ -596,6 +658,119 @@ mod tests {
         for id in CounterId::ALL {
             assert!(after.counter(id) >= before.counter(id), "{}", id.label());
         }
+    }
+
+    #[test]
+    fn checkpoint_trim_and_recover_across_all_systems() {
+        use tashkent_common::metrics::{CounterId, GaugeId};
+        for system in SystemKind::ALL {
+            let cluster = small(system);
+            let t = cluster.create_table("kv", &["v"]);
+            let commit = |k: i64| {
+                let tx = cluster.session(0).begin();
+                tx.insert(t, k, vec![("v".into(), Value::Int(k))]).unwrap();
+                tx.commit().unwrap();
+            };
+            for i in 0..12 {
+                commit(i);
+            }
+            cluster.sync_all().unwrap();
+            assert_eq!(cluster.certifier_log_len(), 12, "system {system}");
+            assert_eq!(cluster.watermark(), Version::ZERO, "nothing sealed yet");
+
+            cluster.checkpoint();
+            assert_eq!(cluster.watermark(), Version(12), "system {system}");
+            let (entries, _wal_records) = cluster.trim().unwrap();
+            assert_eq!(entries, 12, "system {system}");
+            assert_eq!(cluster.certifier_log_len(), 0, "system {system}");
+            assert_eq!(cluster.truncation_floor(), Version(12), "system {system}");
+            let snapshot = cluster.metrics_snapshot();
+            assert!(snapshot.counter(CounterId::CheckpointsSealed) >= 3);
+            assert_eq!(snapshot.counter(CounterId::TrimmedLogEntries), 12);
+            assert_eq!(snapshot.gauge(GaugeId::TruncationWatermark).0, 12);
+
+            // A replica crashed after the trim recovers from its checkpoint —
+            // the trimmed log prefix is never needed.
+            cluster.replica(1).crash();
+            cluster.recover_replica(1).unwrap();
+            assert_eq!(cluster.replica(1).version(), Version(12), "system {system}");
+            for i in 12..15 {
+                commit(i);
+            }
+            cluster.sync_all().unwrap();
+            let tx = cluster.session(1).begin();
+            for i in 0..15 {
+                let row = tx.read(t, i).unwrap().unwrap();
+                assert_eq!(row.get("v"), Some(&Value::Int(i)), "system {system}");
+            }
+            tx.commit().unwrap();
+            assert_eq!(cluster.replica(1).version(), Version(15), "system {system}");
+        }
+    }
+
+    #[test]
+    fn watermark_is_held_back_by_a_crashed_replicas_checkpoint() {
+        let cluster = small(SystemKind::TashkentApi);
+        let t = cluster.create_table("kv", &["v"]);
+        let commit = |k: i64| {
+            let tx = cluster.session(0).begin();
+            tx.insert(t, k, vec![("v".into(), Value::Int(k))]).unwrap();
+            tx.commit().unwrap();
+        };
+        for i in 0..5 {
+            commit(i);
+        }
+        cluster.sync_all().unwrap();
+        cluster.checkpoint();
+        cluster.replica(1).crash();
+        for i in 5..9 {
+            commit(i);
+        }
+        // Re-sealing only advances the live replica's checkpoint; the crashed
+        // replica's image at version 5 pins the watermark.
+        cluster.checkpoint();
+        assert_eq!(cluster.watermark(), Version(5));
+        cluster.trim().unwrap();
+        assert_eq!(cluster.truncation_floor(), Version(5));
+        // The crashed replica recovers from that checkpoint and catches up
+        // across the retained suffix.
+        cluster.recover_replica(1).unwrap();
+        assert_eq!(cluster.replica(1).version(), Version(9));
+        // With everyone live again the watermark is free to advance.
+        cluster.checkpoint();
+        cluster.trim().unwrap();
+        assert_eq!(cluster.truncation_floor(), Version(9));
+        commit(9);
+        assert_eq!(cluster.system_version(), Version(10));
+    }
+
+    #[test]
+    fn background_trimmer_advances_the_watermark() {
+        use std::time::{Duration, Instant};
+        let mut config = ClusterConfig::small(SystemKind::TashkentApi);
+        config.certifier_shards = 2;
+        let cluster = Cluster::new(config).unwrap();
+        let t = cluster.create_table("kv", &["v"]);
+        let trimmer = cluster.start_trimmer(Duration::from_millis(5));
+        for i in 0..10 {
+            let tx = cluster.session((i % 2) as usize).begin();
+            tx.insert(t, i, vec![("v".into(), Value::Int(i))]).unwrap();
+            tx.commit().unwrap();
+        }
+        cluster.sync_all().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while cluster.truncation_floor() < Version(10) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(trimmer.cycles() > 0);
+        drop(trimmer);
+        assert_eq!(cluster.truncation_floor(), Version(10));
+        assert_eq!(cluster.certifier_log_len(), 0);
+        // The cluster keeps committing on the trimmed logs.
+        let tx = cluster.session(0).begin();
+        tx.insert(t, 100, vec![("v".into(), Value::Int(100))]).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(cluster.system_version(), Version(11));
     }
 
     #[test]

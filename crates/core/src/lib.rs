@@ -51,12 +51,14 @@ pub mod bundle;
 pub mod cluster;
 pub mod flight;
 pub mod replica;
+pub mod trimmer;
 pub mod watchdog;
 
 pub use bundle::DiagnosticBundle;
 pub use cluster::{Cluster, ClusterStats};
 pub use flight::{FlightRecorder, FlightSample};
 pub use replica::ReplicaNode;
+pub use trimmer::{Trimmer, DEFAULT_TRIM_INTERVAL};
 pub use watchdog::{detect, AnomalyKind, FiredAnomaly, Verdict, Watchdog, WatchdogConfig};
 
 pub use tashkent_certifier::{

@@ -11,6 +11,7 @@ use tashkent_common::{
 use tashkent_proxy::{
     recover_base_or_api_replica, recover_mw_replica, CertifierHandle, Proxy, ProxyConfig,
 };
+use tashkent_storage::checkpoint::CheckpointStore;
 use tashkent_storage::disk::DiskConfig;
 use tashkent_storage::{Database, DatabaseDump, EngineConfig};
 
@@ -26,10 +27,12 @@ pub struct ReplicaNode {
     certifier: CertifierHandle,
     /// Stored dump images, most recent last (Tashkent-MW recovery).
     dumps: Mutex<Vec<Vec<u8>>>,
-    /// Baseline image of bulk-loaded state that never went through the WAL
-    /// (stands in for a real engine's data pages; see
-    /// [`ReplicaNode::seal_baseline`]).
-    baseline: Mutex<Option<Vec<u8>>>,
+    /// Sealed, versioned checkpoint images of the replica's state behind an
+    /// atomic manifest flip.  The newest intact image is the recovery
+    /// baseline WAL redo replays on top of — and the version it covers
+    /// bounds how far the cluster's WAL truncation watermark may advance
+    /// for this replica (see [`ReplicaNode::seal_checkpoint`]).
+    checkpoints: CheckpointStore,
     proxy_config: ProxyConfig,
 }
 
@@ -86,7 +89,7 @@ impl ReplicaNode {
             proxy: Mutex::new(proxy),
             certifier,
             dumps: Mutex::new(Vec::new()),
-            baseline: Mutex::new(None),
+            checkpoints: CheckpointStore::new(),
             proxy_config,
         }
     }
@@ -144,20 +147,66 @@ impl ReplicaNode {
         len
     }
 
-    /// Seals the replica's current state as its recovery baseline.
+    /// Seals the replica's current state as a durable checkpoint: a
+    /// versioned, checksummed image behind an atomic manifest flip.
+    /// Returns the version the image covers.
     ///
-    /// Workload loaders populate the initial database through
+    /// Checkpoints serve two roles.  First, they are the recovery baseline:
+    /// workload loaders populate the initial database through
     /// [`Database::bulk_load`], which bypasses the transaction machinery and
     /// the WAL — on a real engine that state would live in data pages that
     /// survive a crash independently of the log, but this simulated engine
     /// has no data pages, so WAL redo alone would silently drop every
     /// bulk-loaded row that was never subsequently updated (found by the
     /// fault-schedule harness: a recovered TPC-B replica came back missing
-    /// a quarter of its accounts).  Sealing captures that state: recovery
-    /// restores the baseline first and replays the WAL (or the dumps and the
-    /// certifier log) on top.
+    /// a quarter of its accounts).  Recovery restores the newest intact
+    /// image first and replays the WAL (or the dumps and the certifier log)
+    /// on top.  Second, the covered version authorizes log truncation: the
+    /// cluster's watermark never exceeds any replica's newest checkpoint,
+    /// so a recovering replica's baseline always meets the trimmed logs.
+    pub fn seal_checkpoint(&self) -> Version {
+        let dump = self.database().dump();
+        let version = dump.version();
+        self.checkpoints.seal(version, &dump.to_bytes());
+        version
+    }
+
+    /// Backwards-compatible alias for [`ReplicaNode::seal_checkpoint`] (the
+    /// original test hook this subsystem grew out of).
     pub fn seal_baseline(&self) {
-        *self.baseline.lock() = Some(self.database().dump().to_bytes());
+        let _ = self.seal_checkpoint();
+    }
+
+    /// The version covered by the replica's newest sealed checkpoint
+    /// ([`Version::ZERO`] before the first seal).
+    #[must_use]
+    pub fn checkpoint_version(&self) -> Version {
+        self.checkpoints.latest_version()
+    }
+
+    /// Drops WAL records at or below `watermark` (they are covered by a
+    /// sealed checkpoint on this replica and applied by every live
+    /// replica).  Returns the number of records dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL rewrite failures.
+    pub fn truncate_wal_below(&self, watermark: Version) -> Result<usize> {
+        // Clamp to this replica's own checkpoint: a record may only be
+        // dropped once an image on *this* replica covers it, whatever the
+        // cluster-wide watermark says.
+        let bound = watermark.min(self.checkpoints.latest_version());
+        if bound.is_zero() {
+            return Ok(0);
+        }
+        self.database().truncate_wal_below(bound)
+    }
+
+    /// Current size of the replica's write-ahead log in bytes
+    /// (bounded-memory assertions).
+    #[must_use]
+    pub fn wal_size(&self) -> u64 {
+        self.database().wal_size()
     }
 
     /// Crashes the replica's database process.
@@ -192,11 +241,12 @@ impl ReplicaNode {
             .map(|(n, cols)| (n.as_str(), cols.iter().map(String::as_str).collect()))
             .collect();
         let old_db = self.database();
-        let baseline_bytes = self.baseline.lock().clone();
         let (new_db, applied) = if self.system == SystemKind::TashkentMw {
-            // The sealed baseline is the oldest dump: used only when every
-            // rolling dump is corrupt or none was ever taken.
-            let mut dumps = baseline_bytes.into_iter().collect::<Vec<_>>();
+            // The sealed checkpoints are the oldest recovery images: used
+            // only when every rolling dump is corrupt or none was ever
+            // taken.  Torn or corrupt images were already filtered out by
+            // the checkpoint store's manifest scan.
+            let mut dumps = self.checkpoints.intact_payloads_oldest_first();
             dumps.extend(self.dumps.lock().iter().cloned());
             if dumps.is_empty() {
                 // Without any recovery image the replica restarts empty and
@@ -211,9 +261,14 @@ impl ReplicaNode {
                 recover_mw_replica(self.engine_config.clone(), &dumps, &self.certifier)?
             }
         } else {
-            let baseline = baseline_bytes
-                .as_deref()
-                .map(DatabaseDump::from_bytes)
+            // The newest intact checkpoint is the baseline WAL redo replays
+            // on top of.  Its version is at or above the truncation
+            // watermark (the watermark is clamped to every replica's newest
+            // checkpoint), so redo never needs a truncated record.
+            let baseline = self
+                .checkpoints
+                .latest()
+                .map(|sealed| DatabaseDump::from_bytes(&sealed.payload))
                 .transpose()?;
             recover_base_or_api_replica(
                 self.engine_config.clone(),

@@ -44,6 +44,9 @@ pub struct ExecutionTrace {
     /// Recover attempts that had to be retried (transient unavailability
     /// while the cluster was still degraded).
     pub recover_retries: u64,
+    /// Planned recovers that kept failing mid-schedule and were left for
+    /// the healing epilogue (non-quorum-safe schedules only).
+    pub deferred_recovers: u64,
 }
 
 impl ExecutionTrace {
@@ -125,25 +128,32 @@ impl FaultExecutor {
             }
             self.fire(event, &mut resolved, &mut trace)?;
         }
-        // Healing epilogue: recover anything still down (generated plans
-        // recover every fault themselves; hand-built plans may not).
-        for entry in resolved.into_iter().flatten() {
-            match entry {
-                (FaultTarget::Replica(r), _) if self.cluster.replica(r).is_crashed() => {
-                    self.recover_with_retry(&mut trace, |c| c.recover_replica(r).map(|_| ()))?;
-                }
-                (FaultTarget::CertifierNode { shard, .. }, Some(node))
-                    if !self
-                        .cluster
-                        .certifier()
-                        .shard_up_nodes(shard)
-                        .contains(&node) =>
+        // Healing epilogue: recover anything still down — targets whose
+        // planned recover was deferred (it fired while the cluster was too
+        // degraded, e.g. during a total shard outage) and targets hand-built
+        // plans never recovered.  Certifier groups heal first: replica
+        // catch-up runs against them.
+        let entries: Vec<(FaultTarget, Option<CertifierNodeId>)> =
+            resolved.into_iter().flatten().collect();
+        for (target, node) in &entries {
+            if let (FaultTarget::CertifierNode { shard, .. }, Some(node)) = (target, node) {
+                if !self
+                    .cluster
+                    .certifier()
+                    .shard_up_nodes(*shard)
+                    .contains(node)
                 {
                     self.recover_with_retry(&mut trace, |c| {
-                        c.recover_certifier_shard_node(shard, node)
+                        c.recover_certifier_shard_node(*shard, *node)
                     })?;
                 }
-                _ => {}
+            }
+        }
+        for (target, _) in &entries {
+            if let FaultTarget::Replica(r) = target {
+                if self.cluster.replica(*r).is_crashed() {
+                    self.recover_with_retry(&mut trace, |c| c.recover_replica(*r).map(|_| ()))?;
+                }
             }
         }
         Ok(trace)
@@ -206,20 +216,28 @@ impl FaultExecutor {
                     .ok_or_else(|| {
                         Error::Protocol(format!("recover of unknown fault #{fault}"))
                     })?;
-                match (target, node) {
+                // A recover that keeps failing (the cluster can be too
+                // degraded mid-schedule — e.g. a replica recover during a
+                // total certifier outage) is *deferred*, not fatal: the
+                // target stays down and the healing epilogue below retries
+                // it once the rest of the schedule has run.
+                let outcome = match (target, node) {
                     (FaultTarget::Replica(r), _) => {
-                        self.recover_with_retry(trace, |c| c.recover_replica(r).map(|_| ()))?;
+                        self.recover_with_retry(trace, |c| c.recover_replica(r).map(|_| ()))
                     }
                     (FaultTarget::CertifierNode { shard, .. }, Some(victim)) => {
                         self.recover_with_retry(trace, |c| {
                             c.recover_certifier_shard_node(shard, victim)
-                        })?;
+                        })
                     }
                     (FaultTarget::CertifierNode { .. }, None) => {
                         return Err(Error::Protocol(format!(
                             "fault #{fault} resolved without a victim node"
                         )));
                     }
+                };
+                if outcome.is_err() {
+                    trace.deferred_recovers += 1;
                 }
                 trace.fired.push(FiredEvent {
                     fault,

@@ -80,6 +80,10 @@ pub struct ScheduleConfig {
     pub faults: usize,
     /// Maximum commit-version gap between consecutive fault events.
     pub version_step: u64,
+    /// Lift the quorum-safety bounds on plan generation: schedules may
+    /// down whole shard groups and every replica at once (see
+    /// [`PlanConfig::total_outage`]).
+    pub total_outage: bool,
 }
 
 impl ScheduleConfig {
@@ -111,6 +115,11 @@ impl ScheduleConfig {
             duration: Duration::from_millis(rng.gen_range(200..=300u64)),
             faults: rng.gen_range(2..=4usize),
             version_step: rng.gen_range(15..=40u64),
+            // Drawn last so the flag's introduction left every earlier
+            // field of existing seeds unchanged.  A quarter of the seed
+            // space exercises non-quorum-safe schedules: majority loss,
+            // whole shard groups down, every replica down.
+            total_outage: rng.gen_bool(0.25),
         }
     }
 
@@ -135,6 +144,7 @@ impl ScheduleConfig {
         );
         plan.faults = self.faults;
         plan.version_step = self.version_step;
+        plan.total_outage = self.total_outage;
         plan
     }
 }
@@ -154,6 +164,10 @@ pub struct ScheduleOutcome {
     pub report: DriverReport,
     /// Invariant violations (empty = the schedule passed).
     pub violations: Vec<Violation>,
+    /// The cluster's final metrics snapshot (taken after the heal and the
+    /// oracle) — how tests assert schedule-level effects like "logs were
+    /// demonstrably truncated during this run".
+    pub snapshot: tashkent::MetricsSnapshot,
     /// Diagnostic bundle captured for a failing schedule (`None` when the
     /// schedule passed or the bundle could not be written).
     pub bundle: Option<PathBuf>,
@@ -231,6 +245,11 @@ pub fn run_plan(seed: u64, config: &ScheduleConfig, plan: &FaultPlan) -> Schedul
         .is_some_and(|v| v != "0" && !v.is_empty())
         .then(|| cluster.start_watchdog(WatchdogConfig::from_env()));
 
+    // The background trimmer seals checkpoints and advances the truncation
+    // watermark *during* the schedule, so crashes land on trimmed logs and
+    // recoveries exercise the checkpoint-plus-suffix state transfer.
+    let trimmer = cluster.start_trimmer(tashkent::DEFAULT_TRIM_INTERVAL);
+
     let injector = FaultExecutor::new(Arc::clone(&cluster), plan.clone()).start();
     let report = run_driver(
         &cluster,
@@ -262,13 +281,31 @@ pub fn run_plan(seed: u64, config: &ScheduleConfig, plan: &FaultPlan) -> Schedul
             }],
         ),
     };
+    // Stop the trimmer before the oracle runs: the dense-history and
+    // durable-coverage checks read the truncation floor and the retained
+    // stream as one consistent pair, which a concurrent trim would skew.
+    drop(trimmer);
     let invariant = config.workload.invariant();
     violations.extend(check_cluster(&cluster, invariant.as_deref()));
+    // One explicit checkpoint-and-trim on the healed, converged cluster:
+    // short schedules can race the background trim tick and finish without
+    // a single effective trim, leaving the truncation metrics empty.  It
+    // runs *after* the oracle so the stream checks still see the floor the
+    // background trimmer actually reached mid-run, and deterministically —
+    // no waiting on thread timing.
+    cluster.checkpoint();
+    let _ = cluster.trim();
     // Crashes and recoveries must never make a metric run backwards.
     violations.extend(check_metrics_progression(
         &metrics_before,
         &cluster.metrics_snapshot(),
     ));
+    // Nightly soaks additionally assert the bounded-memory postcondition:
+    // a full checkpoint-and-trim on the healed cluster empties the logs
+    // and the cluster still commits.
+    if std::env::var_os("FAULT_BOUNDED_MEMORY").is_some_and(|v| v != "0" && !v.is_empty()) {
+        violations.extend(crate::oracle::check_bounded_memory(&cluster));
+    }
 
     // Any failure dumps a diagnostic bundle, and every violation (including
     // an executor panic) carries the path, so the replay instructions
@@ -295,6 +332,7 @@ pub fn run_plan(seed: u64, config: &ScheduleConfig, plan: &FaultPlan) -> Schedul
         trace,
         report,
         violations,
+        snapshot: cluster.metrics_snapshot(),
         bundle,
     }
 }

@@ -48,7 +48,8 @@ pub use harness::{
 };
 pub use minimize::{minimize as minimize_plan, Minimized};
 pub use oracle::{
-    check_cluster, check_metrics_consistency, check_metrics_progression, TpcBInvariant, Violation,
+    check_bounded_memory, check_cluster, check_metrics_consistency, check_metrics_progression,
+    TpcBInvariant, Violation,
     WorkloadInvariant,
 };
 pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultTarget, NodePick, PlanConfig};

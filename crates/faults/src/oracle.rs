@@ -5,15 +5,17 @@
 //!
 //! 1. **Convergence** — after a sync, every replica sits at exactly the
 //!    certifier's system version.
-//! 2. **Dense history** — the certified stream is exactly the gap-free
-//!    ascending range `1..=system_version`: no commit lost, duplicated or
-//!    reordered by any crash.
+//! 2. **Dense history** — above the truncation floor the certified stream
+//!    is exactly the gap-free ascending range `floor+1..=system_version`
+//!    (`1..=system_version` when nothing was trimmed): no commit lost,
+//!    duplicated or reordered by any crash or trim.
 //! 3. **Durable-log agreement** — every certifier node of every shard group
 //!    holds the same durable records as its shard leader,
 //!    record-for-record (recovered nodes were healed by state transfer).
 //! 4. **Durable coverage** — the union of the shard leaders' durable logs
-//!    covers the entire certified history (home-shard durability loses
-//!    nothing).
+//!    covers the entire certified history above the truncation floor
+//!    (home-shard durability loses nothing; trimmed prefixes are covered
+//!    by sealed checkpoints).
 //! 5. **Replica agreement** — all replicas hold identical table contents,
 //!    row for row.
 //! 6. **Workload invariants** — workload-specific conservation laws (the
@@ -130,25 +132,42 @@ pub fn check_cluster(
         }
     }
 
-    // Dense history: the merged certified stream is exactly 1..=system.
+    // Dense history, truncation-aware.  With watermark-driven truncation
+    // the retained stream no longer starts at version 1: each shard keeps
+    // its suffix above its own floor (per-shard floors differ because each
+    // clamps to its own log).  What must still hold: the merged stream is
+    // strictly ascending with no duplicates, never exceeds the system
+    // version, and above the *global* floor (the max across shards) it is
+    // exactly the gap-free range `floor+1..=system_version` — no commit
+    // lost, duplicated or reordered by any crash or trim.
     let certifier = cluster.certifier();
+    let floor = certifier.truncation_floor();
     let stream: Vec<u64> = certifier
         .writesets_after(Version::ZERO)
         .iter()
         .map(|r| r.commit_version.value())
         .collect();
-    let expected: Vec<u64> = (1..=system.value()).collect();
-    if stream != expected {
+    if stream.windows(2).any(|w| w[0] >= w[1]) {
+        violations.push(Violation {
+            invariant: "dense-history",
+            detail: "certified stream is not strictly ascending".into(),
+        });
+    }
+    let expected: Vec<u64> = (floor.value() + 1..=system.value()).collect();
+    let tail: Vec<u64> = stream
+        .iter()
+        .copied()
+        .filter(|v| *v > floor.value())
+        .collect();
+    if tail != expected {
         violations.push(Violation {
             invariant: "dense-history",
             detail: format!(
-                "certified stream has {} entries for system version {} (first divergence at index {:?})",
-                stream.len(),
+                "certified stream has {} entries above floor {} for system version {} (first divergence at index {:?})",
+                tail.len(),
+                floor.value(),
                 system.value(),
-                stream
-                    .iter()
-                    .zip(&expected)
-                    .position(|(a, b)| a != b)
+                tail.iter().zip(&expected).position(|(a, b)| a != b)
             ),
         });
     }
@@ -202,15 +221,19 @@ pub fn check_cluster(
                 }
             }
         }
-        // Durable coverage: the home-shard logs jointly hold every commit.
+        // Durable coverage: above the global floor the home-shard logs
+        // jointly hold every commit (records at or below a shard's floor
+        // are covered by its sealed checkpoint instead).
         durable_union.sort_unstable();
         durable_union.dedup();
+        durable_union.retain(|v| *v > floor.value());
         if durable_union != expected {
             violations.push(Violation {
                 invariant: "durable-coverage",
                 detail: format!(
-                    "shard leaders jointly hold {} distinct records for system version {}",
+                    "shard leaders jointly hold {} distinct records above floor {} for system version {}",
                     durable_union.len(),
+                    floor.value(),
                     system.value()
                 ),
             });
@@ -232,6 +255,66 @@ pub fn check_cluster(
                 detail,
             });
         }
+    }
+    violations
+}
+
+/// The bounded-memory postcondition behind log truncation: on a healed,
+/// synced cluster, one full checkpoint-and-trim cycle must empty the
+/// certifier's shard logs and every replica's WAL — and the cluster must
+/// still commit on the trimmed logs.  Run by the harness when
+/// `FAULT_BOUNDED_MEMORY` is set (nightly soaks); expensive enough (a probe
+/// table and commit) to stay out of the default oracle.
+#[must_use]
+pub fn check_bounded_memory(cluster: &Cluster) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    cluster.checkpoint();
+    if let Err(e) = cluster.trim() {
+        violations.push(Violation {
+            invariant: "bounded-memory",
+            detail: format!("trim failed on the healed cluster: {e}"),
+        });
+        return violations;
+    }
+    let retained = cluster.certifier_log_len();
+    if retained > 0 {
+        violations.push(Violation {
+            invariant: "bounded-memory",
+            detail: format!(
+                "certifier retains {retained} log entries after a full checkpoint-and-trim"
+            ),
+        });
+    }
+    let wal_bytes = cluster.wal_bytes();
+    if wal_bytes > 0 {
+        violations.push(Violation {
+            invariant: "bounded-memory",
+            detail: format!(
+                "replica WALs retain {wal_bytes} bytes after a full checkpoint-and-trim"
+            ),
+        });
+    }
+    // Viability probe: the cluster still commits on fully trimmed logs.
+    let before = cluster.system_version();
+    let t = cluster.create_table("__trim_probe", &["v"]);
+    let tx = cluster.session(0).begin();
+    let outcome = tx
+        .insert(t, 1, vec![("v".into(), Value::Int(1))])
+        .and_then(|()| tx.commit().map(|_| ()));
+    match outcome {
+        Ok(()) if cluster.system_version() == before.next() => {}
+        Ok(()) => violations.push(Violation {
+            invariant: "bounded-memory",
+            detail: format!(
+                "probe commit moved the system version from {before} to {} (expected {})",
+                cluster.system_version(),
+                before.next()
+            ),
+        }),
+        Err(e) => violations.push(Violation {
+            invariant: "bounded-memory",
+            detail: format!("probe commit failed on the trimmed cluster: {e}"),
+        }),
     }
     violations
 }

@@ -16,6 +16,12 @@
 //! generator freely overlaps faults — several shards down at once, a replica
 //! and a certifier node down together, repeated crashes of the same target —
 //! and targets shard *leaders* as well as followers.
+//!
+//! Setting [`PlanConfig::total_outage`] lifts the quorum-safety bounds:
+//! schedules may then lose a shard group's majority — or the whole group —
+//! and crash every replica at once.  Crashes stay paired with recovers;
+//! recovery relies on sealed checkpoints and the certifier's
+//! union-of-logs state transfer instead of a live donor.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -107,6 +113,12 @@ pub struct PlanConfig {
     pub target_replicas: bool,
     /// Allow certifier-node faults.
     pub target_certifiers: bool,
+    /// Drop the quorum-safety constraints: schedules may crash a shard
+    /// group's majority — up to the *whole* group — and every replica at
+    /// once.  Recovery then leans on checkpoints and the union-of-logs
+    /// state transfer instead of a live donor.  Off by default; generated
+    /// plans still pair every crash with a recover.
+    pub total_outage: bool,
 }
 
 impl PlanConfig {
@@ -121,6 +133,7 @@ impl PlanConfig {
             version_step: 30,
             target_replicas: true,
             target_certifiers: true,
+            total_outage: false,
         }
     }
 
@@ -129,6 +142,17 @@ impl PlanConfig {
     #[must_use]
     pub fn max_down_per_shard(&self) -> usize {
         self.nodes_per_shard - (self.nodes_per_shard / 2 + 1)
+    }
+
+    /// The per-shard down limit the generator enforces: the quorum-safe
+    /// bound normally, the whole group in total-outage mode.
+    #[must_use]
+    pub fn down_limit_per_shard(&self) -> usize {
+        if self.total_outage {
+            self.nodes_per_shard
+        } else {
+            self.max_down_per_shard()
+        }
     }
 }
 
@@ -184,7 +208,7 @@ impl FaultPlan {
     #[must_use]
     pub fn generate(seed: u64, config: &PlanConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let max_down = config.max_down_per_shard();
+        let max_down = config.down_limit_per_shard();
         let mut replica_down = vec![false; config.replicas];
         let mut shard_down = vec![0usize; config.certifier_shards];
         // Open faults awaiting their recover event.
@@ -204,7 +228,9 @@ impl FaultPlan {
             if next_fault < config.faults {
                 if config.target_replicas {
                     let up = replica_down.iter().filter(|d| !**d).count();
-                    if up > 1 {
+                    // Quorum-safe schedules always leave one replica
+                    // serving load; total-outage mode may crash them all.
+                    if up > 1 || (config.total_outage && up > 0) {
                         crashable.extend(
                             replica_down
                                 .iter()
@@ -412,6 +438,59 @@ mod tests {
             assert!(open.is_empty(), "every crash is recovered by plan end");
             assert_eq!(plan.fault_count(), config.faults);
         }
+    }
+
+    #[test]
+    fn total_outage_mode_reaches_full_outages_yet_stays_paired() {
+        let mut config = config();
+        config.faults = 12;
+        config.total_outage = true;
+        let mut saw_shard_outage = false;
+        let mut saw_replica_outage = false;
+        for seed in 0..100u64 {
+            let plan = FaultPlan::generate(seed, &config);
+            let mut replica_down = vec![false; config.replicas];
+            let mut shard_down = vec![0usize; config.certifier_shards];
+            let mut open: std::collections::HashMap<usize, FaultTarget> =
+                std::collections::HashMap::new();
+            for event in &plan.events {
+                match event.action {
+                    FaultAction::Crash { fault, target } => {
+                        assert!(open.insert(fault, target).is_none());
+                        match target {
+                            FaultTarget::Replica(r) => {
+                                assert!(!replica_down[r], "no double crash");
+                                replica_down[r] = true;
+                                if replica_down.iter().all(|d| *d) {
+                                    saw_replica_outage = true;
+                                }
+                            }
+                            FaultTarget::CertifierNode { shard, .. } => {
+                                shard_down[shard.index()] += 1;
+                                assert!(
+                                    shard_down[shard.index()] <= config.nodes_per_shard,
+                                    "never more crashes than nodes"
+                                );
+                                if shard_down[shard.index()] == config.nodes_per_shard {
+                                    saw_shard_outage = true;
+                                }
+                            }
+                        }
+                    }
+                    FaultAction::Recover { fault } => {
+                        match open.remove(&fault).expect("recover pairs with a crash") {
+                            FaultTarget::Replica(r) => replica_down[r] = false,
+                            FaultTarget::CertifierNode { shard, .. } => {
+                                shard_down[shard.index()] -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(open.is_empty(), "every crash is recovered by plan end");
+        }
+        assert!(saw_shard_outage, "some schedule downs a whole shard group");
+        assert!(saw_replica_outage, "some schedule downs every replica");
     }
 
     #[test]

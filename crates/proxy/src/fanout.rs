@@ -243,6 +243,59 @@ impl CertifierHandle {
         }
     }
 
+    /// Seals a durable checkpoint of the certified log (every shard's log,
+    /// when sharded).  Returns the version the checkpoint covers up to.
+    pub fn seal_checkpoint(&self) -> Version {
+        match self {
+            CertifierHandle::Single(c) => c.seal_checkpoint(),
+            CertifierHandle::Sharded(c) => c.seal_checkpoint(),
+        }
+    }
+
+    /// Drops certified-log entries at or below `watermark` from the
+    /// in-memory and durable logs, clamped to the newest sealed checkpoint.
+    /// Returns the number of in-memory entries discarded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates durable-log rewrite failures.
+    pub fn truncate_below(&self, watermark: Version) -> Result<usize> {
+        match self {
+            CertifierHandle::Single(c) => c.truncate_below(watermark),
+            CertifierHandle::Sharded(c) => c.truncate_below(watermark),
+        }
+    }
+
+    /// The truncation floor: versions at or below it can no longer be served
+    /// from the certified logs (highest per-shard floor when sharded).
+    #[must_use]
+    pub fn truncation_floor(&self) -> Version {
+        match self {
+            CertifierHandle::Single(c) => c.truncation_floor(),
+            CertifierHandle::Sharded(c) => c.truncation_floor(),
+        }
+    }
+
+    /// The version the newest sealed checkpoint covers up to (minimum across
+    /// shards when sharded; [`Version::ZERO`] before the first seal).
+    #[must_use]
+    pub fn checkpoint_version(&self) -> Version {
+        match self {
+            CertifierHandle::Single(c) => c.checkpoint_version(),
+            CertifierHandle::Sharded(c) => c.checkpoint_version(),
+        }
+    }
+
+    /// Total number of entries held in the in-memory certified logs
+    /// (bounded-memory assertions).
+    #[must_use]
+    pub fn log_len(&self) -> usize {
+        match self {
+            CertifierHandle::Single(c) => c.log_len(),
+            CertifierHandle::Sharded(c) => c.log_len(),
+        }
+    }
+
     /// The sharded certifier behind this handle, if it is sharded (per-shard
     /// fault injection and inspection).
     #[must_use]

@@ -32,6 +32,18 @@ use crate::fanout::CertifierHandle;
 /// Fails if the certifier majority is unavailable or the database rejects an
 /// application.
 pub fn catch_up(db: &Database, certifier: &CertifierHandle) -> Result<usize> {
+    // The certified logs only reach down to the truncation floor.  A replica
+    // below it would be handed a stream with a silent gap and diverge — fail
+    // loudly instead: the caller must bootstrap from a checkpoint whose
+    // version is at or above the floor (incremental state transfer).
+    let floor = certifier.truncation_floor();
+    if db.version() < floor {
+        return Err(Error::Corruption(format!(
+            "replica at version {} is below the certifier truncation floor {floor}; \
+             recover from a checkpoint at or above the floor",
+            db.version()
+        )));
+    }
     let missing = certifier.writesets_after(db.version());
     if missing.is_empty() {
         return Ok(0);
@@ -124,10 +136,21 @@ pub fn recover_mw_replica(
     dump_files: &[Vec<u8>],
     certifier: &CertifierHandle,
 ) -> Result<(Database, usize)> {
+    let floor = certifier.truncation_floor();
     let mut last_error = Error::Corruption("no dump files available".into());
     for raw in dump_files.iter().rev() {
         match DatabaseDump::from_bytes(raw) {
             Ok(dump) => {
+                // A dump below the truncation floor cannot be caught up (the
+                // log suffix it needs is gone) — fall back to an older slot,
+                // which may hold a *newer* sealed checkpoint image.
+                if dump.version() < floor {
+                    last_error = Error::Corruption(format!(
+                        "dump at version {} is below the certifier truncation floor {floor}",
+                        dump.version()
+                    ));
+                    continue;
+                }
                 let db = Database::restore_from_dump(config, &dump);
                 let applied = catch_up(&db, certifier)?;
                 return Ok((db, applied));
@@ -254,6 +277,62 @@ mod tests {
         assert_eq!(catch_up(&db, &certifier).unwrap(), 10);
         assert_eq!(db.version(), Version(10));
         assert_eq!(catch_up(&db, &certifier).unwrap(), 0);
+    }
+
+    #[test]
+    fn catch_up_refuses_to_cross_the_truncation_floor() {
+        let certifier = certifier_with_entries(8);
+        // Seal a checkpoint and trim the certified log up to version 5.
+        certifier.seal_checkpoint();
+        certifier.truncate_below(Version(5)).unwrap();
+        assert_eq!(certifier.truncation_floor(), Version(5));
+        // A replica already past the floor catches up normally.
+        let db = Database::new(EngineConfig::default());
+        db.create_table("t", &["x"]);
+        let remotes = certifier_with_entries(8).writesets_after(Version::ZERO);
+        for remote in remotes.iter().take(5) {
+            db.apply_writeset(&remote.writeset, remote.commit_version).unwrap();
+        }
+        assert_eq!(catch_up(&db, &certifier).unwrap(), 3);
+        assert_eq!(db.version(), Version(8));
+        // A replica below the floor is refused loudly, not fed a gap.
+        let stale = Database::new(EngineConfig::default());
+        stale.create_table("t", &["x"]);
+        assert!(matches!(
+            catch_up(&stale, &certifier),
+            Err(Error::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn mw_recovery_skips_dumps_below_the_truncation_floor() {
+        let certifier = certifier_with_entries(8);
+        let db = Database::new(EngineConfig::with_sync_mode(SyncMode::Off));
+        db.create_table("t", &["x"]);
+        let remotes = certifier.writesets_after(Version::ZERO);
+        for remote in remotes.iter().take(2) {
+            db.apply_writeset(&remote.writeset, remote.commit_version)
+                .unwrap();
+        }
+        let stale = db.dump().to_bytes();
+        for remote in remotes.iter().skip(2).take(3) {
+            db.apply_writeset(&remote.writeset, remote.commit_version)
+                .unwrap();
+        }
+        let fresh = db.dump().to_bytes();
+        certifier.seal_checkpoint();
+        certifier.truncate_below(Version(5)).unwrap();
+        // The newest slot holds a dump *below* the floor; recovery must fall
+        // back to the older slot's fresher image rather than fail on the
+        // missing log suffix.
+        let (recovered, applied) = recover_mw_replica(
+            EngineConfig::with_sync_mode(SyncMode::Off),
+            &[fresh, stale],
+            &certifier,
+        )
+        .unwrap();
+        assert_eq!(recovered.version(), Version(8));
+        assert_eq!(applied, 3);
     }
 
     #[test]

@@ -73,6 +73,15 @@ pub trait LogDevice: Send + Sync {
     /// Simulates a crash: volatile (un-fsynced) bytes are discarded.
     fn crash(&self);
 
+    /// Atomically replaces the entire log with `contents`, durably.
+    ///
+    /// This is the primitive behind log truncation: the caller rewrites the
+    /// log as the suffix of records it wants to keep (a real system would
+    /// drop whole segment files; this simulated device has one segment).
+    /// The replacement is durable immediately — it models a rename over a
+    /// fully synced rewrite, not an in-place edit.
+    fn replace(&self, contents: Vec<u8>);
+
     /// Statistics snapshot.
     fn stats(&self) -> DiskStats;
 }
@@ -221,6 +230,12 @@ impl LogDevice for SimulatedDisk {
         state.buffer.truncate(durable);
     }
 
+    fn replace(&self, contents: Vec<u8>) {
+        let mut state = self.state.lock();
+        state.durable_len = contents.len() as u64;
+        state.buffer = contents;
+    }
+
     fn stats(&self) -> DiskStats {
         self.state.lock().stats.clone()
     }
@@ -301,6 +316,21 @@ mod tests {
             let j = disk.jitter(&mut state);
             assert!(j <= Duration::from_millis(4));
         }
+    }
+
+    #[test]
+    fn replace_swaps_contents_durably() {
+        let disk = SimulatedDisk::instant();
+        disk.append(b"old contents");
+        disk.fsync(1);
+        disk.append(b"volatile");
+        disk.replace(b"new".to_vec());
+        assert_eq!(disk.len(), 3);
+        assert_eq!(disk.durable_len(), 3);
+        assert_eq!(disk.durable_contents(), b"new");
+        // The replacement survives a crash without an explicit fsync.
+        disk.crash();
+        assert_eq!(disk.durable_contents(), b"new");
     }
 
     #[test]

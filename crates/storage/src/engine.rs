@@ -264,6 +264,27 @@ impl Database {
             db.create_table(name, columns);
         }
         if let Some(dump) = baseline {
+            // The baseline may be any sealed checkpoint, not just a
+            // version-0-anchored seed image.  The WAL's dense frontier must
+            // *meet* it: the smallest durable record above the checkpoint
+            // version must be exactly the next version, otherwise records
+            // between checkpoint and log were truncated away and a silent
+            // re-fetch would paper over data loss.
+            let base = dump.version();
+            let first_above = records
+                .iter()
+                .map(|(version, _)| *version)
+                .find(|version| {
+                    *version > base && redo_bound.is_none_or(|bound| *version <= bound)
+                });
+            if let Some(first) = first_above {
+                if first > base.next() {
+                    return Err(Error::Corruption(format!(
+                        "WAL gap above checkpoint: baseline covers {base}, \
+                         next durable record is {first}"
+                    )));
+                }
+            }
             dump.load_into(&db);
         }
         for (version, writeset) in records {
@@ -488,6 +509,28 @@ impl Database {
         let version = self.version();
         self.shared.wal.append(&WalRecord::Checkpoint { version });
         self.shared.wal.flush_all();
+    }
+
+    /// Drops every WAL record whose version is at or below `watermark`,
+    /// rewriting the log as the surviving suffix.  Returns how many records
+    /// were dropped.
+    ///
+    /// The caller (the cluster's trimmer) must only pass a watermark covered
+    /// by a sealed checkpoint — recovery from the truncated log alone is
+    /// impossible below it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] if the durable log cannot be decoded.
+    pub fn truncate_wal_below(&self, watermark: Version) -> Result<usize> {
+        self.shared.wal.truncate_below(watermark)
+    }
+
+    /// Current size of the WAL in bytes (durable or not) — the figure the
+    /// bounded-memory soak assertion watches.
+    #[must_use]
+    pub fn wal_size(&self) -> u64 {
+        self.shared.device.len()
     }
 
     /// Discards row versions that no snapshot at or after
@@ -1650,6 +1693,82 @@ mod tests {
         )]);
         db.apply_writeset(&ws, Version(1)).unwrap();
         assert_eq!(balance(&db, t, 99), 5);
+    }
+
+    #[test]
+    fn recovery_from_a_mid_stream_checkpoint_meets_the_wal_frontier() {
+        let (db, t) = test_db();
+        for i in 0..8 {
+            let tx = db.begin();
+            tx.insert(t, i, vec![("balance".into(), Value::Int(i))])
+                .unwrap();
+            tx.commit().unwrap();
+        }
+        // Seal a checkpoint at version 5 and truncate the WAL below it: the
+        // log now starts at version 6 and the checkpoint is *not* anchored
+        // at version 0.
+        let dump_at_5 = {
+            // Rebuild the version-5 image by replaying onto a fresh db.
+            let fresh = Database::new(EngineConfig::default());
+            let ft = fresh.create_table("accounts", &["balance"]);
+            for i in 0..5 {
+                let tx = fresh.begin();
+                tx.insert(ft, i, vec![("balance".into(), Value::Int(i))])
+                    .unwrap();
+                tx.commit().unwrap();
+            }
+            fresh.dump()
+        };
+        assert_eq!(db.truncate_wal_below(Version(5)).unwrap(), 5);
+        db.crash();
+        let recovered = Database::recover_with_baseline(
+            EngineConfig::default(),
+            db.log_device(),
+            &[("accounts", vec!["balance"])],
+            Some(&dump_at_5),
+            None,
+        )
+        .unwrap();
+        assert_eq!(recovered.version(), Version(8));
+        let t2 = recovered.table_id("accounts").unwrap();
+        for i in 0..8 {
+            assert_eq!(balance(&recovered, t2, i), i);
+        }
+    }
+
+    #[test]
+    fn recovery_errors_loudly_when_the_checkpoint_misses_the_wal_frontier() {
+        let (db, t) = test_db();
+        for i in 0..8 {
+            let tx = db.begin();
+            tx.insert(t, i, vec![("balance".into(), Value::Int(i))])
+                .unwrap();
+            tx.commit().unwrap();
+        }
+        // The log was truncated below version 5, but the only checkpoint on
+        // hand covers version 3: versions 4 and 5 exist nowhere.  Recovery
+        // must refuse instead of silently starting from the stale image.
+        let stale = {
+            let fresh = Database::new(EngineConfig::default());
+            let ft = fresh.create_table("accounts", &["balance"]);
+            for i in 0..3 {
+                let tx = fresh.begin();
+                tx.insert(ft, i, vec![("balance".into(), Value::Int(i))])
+                    .unwrap();
+                tx.commit().unwrap();
+            }
+            fresh.dump()
+        };
+        db.truncate_wal_below(Version(5)).unwrap();
+        db.crash();
+        let result = Database::recover_with_baseline(
+            EngineConfig::default(),
+            db.log_device(),
+            &[("accounts", vec!["balance"])],
+            Some(&stale),
+            None,
+        );
+        assert!(matches!(result, Err(Error::Corruption(_))));
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //! * [`engine`] — the [`engine::Database`] façade: begin / read / write /
 //!   commit / ordered commit / apply-writeset / dump / crash / recover.
 //! * [`dump`] — full-database dumps used by Tashkent-MW replica recovery.
+//! * [`checkpoint`] — sealed, versioned checkpoint images behind an atomic
+//!   manifest pointer flip; the durable artifact watermark-driven log
+//!   truncation restarts from.
 //!
 //! # Example
 //!
@@ -59,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod codec;
 pub mod disk;
 pub mod dump;
@@ -69,6 +73,7 @@ pub mod schema;
 pub mod txn;
 pub mod wal;
 
+pub use checkpoint::{CheckpointStore, SealedCheckpoint};
 pub use disk::{DiskStats, LogDevice, SimulatedDisk};
 pub use dump::DatabaseDump;
 pub use engine::{Database, EngineConfig, EngineStats, TxHandle};

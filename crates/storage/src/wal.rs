@@ -222,6 +222,15 @@ impl WalWriter {
             if state.durable_lsn >= lsn {
                 return;
             }
+            if lsn > state.appended_lsn {
+                // A concurrent truncation rewrote the log below our LSN.
+                // Truncation flushes everything first and only removes
+                // durable records, so the record behind this `lsn` is either
+                // durable (and below the watermark) or retained in the
+                // rewritten suffix — never lost.  Without this check the
+                // flusher loop below could never reach a stale high `lsn`.
+                return;
+            }
             if state.flush_in_progress {
                 // Somebody else is flushing; their flush may or may not cover
                 // us — re-check after it completes.
@@ -263,6 +272,68 @@ impl WalWriter {
     pub fn flush_all(&self) {
         let lsn = self.state.lock().appended_lsn;
         self.sync_to(lsn);
+    }
+
+    /// Durably removes every record with version at or below `watermark`,
+    /// rewriting the log as the retained suffix.  Returns the number of
+    /// records removed.
+    ///
+    /// Everything buffered is flushed first, so no record can be lost: a
+    /// record is either retained (version above the watermark) or durable
+    /// and covered by a sealed checkpoint at or above the watermark (the
+    /// caller's contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] if the durable log cannot be decoded;
+    /// nothing is rewritten in that case.
+    pub fn truncate_below(&self, watermark: Version) -> Result<usize> {
+        loop {
+            self.flush_all();
+            let mut state = self.state.lock();
+            if state.appended_lsn != state.durable_lsn {
+                // An append raced in between the flush and the lock; flush
+                // again so the rewrite below covers the full log.
+                drop(state);
+                continue;
+            }
+            let records = WalRecord::decode_all(&self.device.durable_contents())?;
+            let retained: Vec<&WalRecord> = records
+                .iter()
+                .filter(|r| r.version() > watermark)
+                .collect();
+            let dropped = records.len() - retained.len();
+            if dropped == 0 {
+                return Ok(0);
+            }
+            let mut image = Vec::new();
+            for record in &retained {
+                image.extend_from_slice(&record.encode());
+            }
+            let len = image.len() as u64;
+            self.device.replace(image);
+            state.appended_lsn = len;
+            state.durable_lsn = len;
+            state.records_since_flush = 0;
+            return Ok(dropped);
+        }
+    }
+
+    /// Durably rewrites the log to contain exactly `records`, in order.
+    /// Used by certifier-node state transfer, which rebuilds a recovering
+    /// node's log from a donor (or, after a total outage, from the union of
+    /// the surviving logs and the shard checkpoint).
+    pub fn rewrite(&self, records: &[WalRecord]) {
+        let mut state = self.state.lock();
+        let mut image = Vec::new();
+        for record in records {
+            image.extend_from_slice(&record.encode());
+        }
+        let len = image.len() as u64;
+        self.device.replace(image);
+        state.appended_lsn = len;
+        state.durable_lsn = len;
+        state.records_since_flush = 0;
     }
 
     /// The LSN up to which the log is known durable.
@@ -395,6 +466,45 @@ mod tests {
             "expected grouping, got {} fsyncs",
             stats.fsyncs
         );
+    }
+
+    #[test]
+    fn truncate_below_drops_only_covered_records() {
+        let disk = Arc::new(SimulatedDisk::instant());
+        let wal = WalWriter::new(disk.clone());
+        for v in 1..=6 {
+            wal.append(&commit_record(v, v as i64));
+        }
+        // Truncation flushes the buffered records before rewriting.
+        let dropped = wal.truncate_below(Version(4)).unwrap();
+        assert_eq!(dropped, 4);
+        let survivors = wal.durable_records().unwrap();
+        assert_eq!(survivors.len(), 2);
+        assert_eq!(survivors[0].version(), Version(5));
+        assert_eq!(survivors[1].version(), Version(6));
+        // Appends keep working after the rewrite, and a stale high LSN from
+        // before the truncation does not wedge the group-commit loop.
+        wal.sync_to(u64::MAX / 2);
+        let lsn = wal.append(&commit_record(7, 7));
+        wal.sync_to(lsn);
+        assert_eq!(wal.durable_records().unwrap().len(), 3);
+        // Nothing at or below the watermark: a no-op.
+        assert_eq!(wal.truncate_below(Version(4)).unwrap(), 0);
+        // A watermark above everything empties the log.
+        assert_eq!(wal.truncate_below(Version(10)).unwrap(), 3);
+        assert!(wal.durable_records().unwrap().is_empty());
+    }
+
+    #[test]
+    fn rewrite_replaces_the_log_exactly() {
+        let disk = Arc::new(SimulatedDisk::instant());
+        let wal = WalWriter::new(disk.clone());
+        wal.append_durable(&commit_record(1, 1));
+        let fresh = vec![commit_record(5, 5), commit_record(6, 6)];
+        wal.rewrite(&fresh);
+        assert_eq!(wal.durable_records().unwrap(), fresh);
+        disk.crash();
+        assert_eq!(wal.durable_records().unwrap(), fresh);
     }
 
     #[test]

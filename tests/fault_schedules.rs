@@ -11,7 +11,10 @@
 //! A failing schedule prints its plan, the violated invariants, the replay
 //! recipe, and a greedily minimized version of the plan.
 
-use tashkent_faults::{run_schedule, shrink_failure};
+use tashkent_faults::{
+    run_schedule, shrink_failure, FaultAction, FaultPlan, FaultTarget, ScheduleConfig,
+    ScheduleOutcome,
+};
 
 /// Base value mixed into per-schedule seeds so consecutive integers do not
 /// produce near-identical xoshiro streams.
@@ -69,6 +72,120 @@ fn randomized_fault_schedules_hold_every_invariant() {
             .map(|s| format!("{s:#x}"))
             .collect::<Vec<_>>()
     );
+}
+
+/// What a non-quorum-safe schedule must reach to qualify as a regression
+/// target: every node of one certifier shard down at once, or every
+/// replica down at once.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Outage {
+    FullShard,
+    AllReplicas,
+}
+
+/// Deterministically finds the first seed whose generated schedule reaches
+/// `want`.  Plan generation is pure and cheap, so the search replays
+/// identically on every run and only the found seed is executed for real.
+fn find_outage_seed(want: Outage) -> u64 {
+    (0..50_000u64)
+        .find(|&seed| {
+            let config = ScheduleConfig::from_seed(seed);
+            if !config.total_outage {
+                return false;
+            }
+            let plan_config = config.plan_config();
+            let plan = FaultPlan::generate(seed, &plan_config);
+            let mut replica_down = vec![false; plan_config.replicas];
+            let mut shard_down = vec![0usize; plan_config.certifier_shards];
+            let mut targets: Vec<Option<FaultTarget>> = Vec::new();
+            let mut hit = false;
+            for event in &plan.events {
+                match event.action {
+                    FaultAction::Crash { fault, target } => {
+                        if targets.len() <= fault {
+                            targets.resize(fault + 1, None);
+                        }
+                        targets[fault] = Some(target);
+                        match target {
+                            FaultTarget::Replica(r) => {
+                                replica_down[r] = true;
+                                if want == Outage::AllReplicas
+                                    && replica_down.iter().all(|d| *d)
+                                {
+                                    hit = true;
+                                }
+                            }
+                            FaultTarget::CertifierNode { shard, .. } => {
+                                shard_down[shard.index()] += 1;
+                                if want == Outage::FullShard
+                                    && shard_down[shard.index()] == plan_config.nodes_per_shard
+                                {
+                                    hit = true;
+                                }
+                            }
+                        }
+                    }
+                    FaultAction::Recover { fault } => match targets[fault] {
+                        Some(FaultTarget::Replica(r)) => replica_down[r] = false,
+                        Some(FaultTarget::CertifierNode { shard, .. }) => {
+                            shard_down[shard.index()] -= 1;
+                        }
+                        None => {}
+                    },
+                }
+            }
+            hit
+        })
+        .expect("some seed in range reaches the outage shape")
+}
+
+/// Shared assertions for the two total-outage regressions: the full oracle
+/// passed, and the background trimmer demonstrably checkpointed and
+/// truncated logs *during* the run (visible in the metrics).
+fn assert_outage_outcome(outcome: &ScheduleOutcome) {
+    use tashkent::{CounterId, GaugeId};
+    assert!(outcome.passed(), "{outcome}");
+    let snapshot = &outcome.snapshot;
+    assert!(
+        snapshot.counter(CounterId::CheckpointsSealed) > 0,
+        "no checkpoint was sealed during the schedule"
+    );
+    assert!(
+        snapshot.counter(CounterId::TrimmedLogEntries) > 0,
+        "no certifier log entry was truncated during the schedule"
+    );
+    assert!(
+        snapshot.gauge(GaugeId::TruncationWatermark).0 > 0,
+        "the truncation watermark never advanced"
+    );
+}
+
+/// Regression: a schedule that crashes *every* node of one certifier shard
+/// — no donor, no quorum — must recover via the union-of-logs state
+/// transfer and pass the full oracle, on logs the trimmer was actively
+/// truncating.  The seed is found by a deterministic search, so this test
+/// replays the identical schedule forever (`FAULT_SEED=<printed seed>`
+/// reproduces it standalone).
+#[test]
+fn total_certifier_shard_outage_recovers_and_passes_the_oracle() {
+    let seed = find_outage_seed(Outage::FullShard);
+    println!("full-shard-outage regression seed: {seed:#x}");
+    let outcome = run_schedule(seed);
+    print!("{outcome}");
+    assert_outage_outcome(&outcome);
+}
+
+/// Regression: a schedule that crashes *every* replica at once — the
+/// workload fully stalls — must bootstrap each replica back from its
+/// sealed checkpoint plus the retained log suffix and pass the full
+/// oracle.
+#[test]
+fn total_replica_outage_recovers_and_passes_the_oracle() {
+    let seed = find_outage_seed(Outage::AllReplicas);
+    println!("all-replica-outage regression seed: {seed:#x}");
+    let outcome = run_schedule(seed);
+    print!("{outcome}");
+    assert_outage_outcome(&outcome);
 }
 
 /// The replay contract: one seed, one schedule.  Two full executions of the
