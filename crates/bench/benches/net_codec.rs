@@ -1,0 +1,105 @@
+//! Micro-benchmark: the TKNP wire codec — what one network hop costs in
+//! pure CPU before the socket is even touched.  Encoding and decoding a
+//! certification round trip (request out, decision with piggy-backed remote
+//! writesets back) must stay far below the certification work itself, or
+//! the networked cluster would pay more for serialisation than for the
+//! conflict test the paper centres on.
+
+use bytes::{Bytes, BytesMut};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tashkent_certifier::{
+    CertificationDecision, CertificationRequest, CertificationResponse, RemoteWriteSet,
+};
+use tashkent_common::{ReplicaId, TableId, Value, Version, WriteItem, WriteSet};
+use tashkent_net::{decode_message, encode_frame, encode_message, Envelope, FrameReader, Message};
+
+fn writeset(rows: usize) -> WriteSet {
+    WriteSet::from_items(
+        (0..rows as i64)
+            .map(|key| {
+                WriteItem::update(
+                    TableId((key % 4) as u32),
+                    key,
+                    vec![("balance".into(), Value::Int(key * 10))],
+                )
+            })
+            .collect(),
+    )
+}
+
+fn certify_request(rows: usize) -> Envelope {
+    Envelope {
+        request_id: 7,
+        message: Message::CertifyRequest(CertificationRequest {
+            replica: ReplicaId(1),
+            start_version: Version(100),
+            writeset: writeset(rows),
+            replica_version: Version(98),
+        }),
+    }
+}
+
+fn certify_decision(batch: usize) -> Envelope {
+    Envelope {
+        request_id: 7,
+        message: Message::CertifyDecision(CertificationResponse {
+            decision: CertificationDecision::Commit,
+            commit_version: Some(Version(101)),
+            remote_writesets: (0..batch as u64)
+                .map(|i| RemoteWriteSet {
+                    commit_version: Version(90 + i),
+                    writeset: Arc::new(writeset(4)),
+                    conflict_free_to: Version(89 + i),
+                })
+                .collect(),
+            system_version: Version(101),
+        }),
+    }
+}
+
+fn encode(envelope: &Envelope) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(256);
+    encode_message(&mut buf, envelope);
+    buf.freeze().to_vec()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_codec");
+
+    group.bench_function("encode_certify_request_4_rows", |b| {
+        let envelope = certify_request(4);
+        b.iter(|| encode(&envelope));
+    });
+    group.bench_function("decode_certify_request_4_rows", |b| {
+        let raw = encode(&certify_request(4));
+        b.iter(|| {
+            let mut bytes = Bytes::copy_from_slice(&raw);
+            decode_message(&mut bytes).unwrap()
+        });
+    });
+    group.bench_function("encode_decision_with_16_remote_writesets", |b| {
+        let envelope = certify_decision(16);
+        b.iter(|| encode(&envelope));
+    });
+    group.bench_function("decode_decision_with_16_remote_writesets", |b| {
+        let raw = encode(&certify_decision(16));
+        b.iter(|| {
+            let mut bytes = Bytes::copy_from_slice(&raw);
+            decode_message(&mut bytes).unwrap()
+        });
+    });
+    group.bench_function("frame_checksum_round_trip_1kib", |b| {
+        let payload = vec![0xA5u8; 1024];
+        b.iter(|| {
+            let wire = encode_frame(&payload);
+            let mut reader = FrameReader::new();
+            reader.push(&wire);
+            reader.next_frame().unwrap().unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

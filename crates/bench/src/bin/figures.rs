@@ -8,19 +8,21 @@
 //! cargo run -p tashkent-bench --release --bin figures -- --quick all
 //! cargo run -p tashkent-bench --release --bin figures -- tpcw-cluster
 //! cargo run -p tashkent-bench --release --bin figures -- metrics
+//! cargo run -p tashkent-bench --release --bin figures -- tpcb-net
 //! cargo run -p tashkent-bench --release --bin figures -- timeline > trace.json
 //! ```
 //!
 //! The `fig*` / table ids replay the calibrated simulator; `tpcw-cluster`
 //! runs the TPC-W browsing and shopping mixes on real in-process clusters,
 //! `metrics` runs TPC-B on real clusters and prints the commit-path stage
-//! breakdown for every system at 1 and 4 certifier shards (`all` includes
-//! both), and `timeline` runs a TPC-B burst and emits the merged
+//! breakdown for every system at 1 and 4 certifier shards, `tpcb-net` runs
+//! TPC-B over every transport (in-process, loopback, TCP) and prices the
+//! network hop (`all` includes all three), and `timeline` runs a TPC-B burst and emits the merged
 //! observability timeline as Chrome-trace JSON for Perfetto /
 //! `chrome://tracing` (not part of `all`: its output is a JSON document,
 //! not a report).
 
-use tashkent_bench::{run_figure, run_metrics, run_timeline, run_tpcw_cluster};
+use tashkent_bench::{run_figure, run_metrics, run_timeline, run_tpcb_net, run_tpcw_cluster};
 use tashkent_sim::FigureId;
 
 fn main() {
@@ -32,6 +34,7 @@ fn main() {
     let tpcw_cluster =
         all || tokens.iter().any(|t| t.as_str() == "tpcw-cluster" || t.as_str() == "tpcw-real");
     let metrics = all || tokens.iter().any(|t| t.as_str() == "metrics");
+    let tpcb_net = all || tokens.iter().any(|t| t.as_str() == "tpcb-net");
     let timeline = tokens.iter().any(|t| t.as_str() == "timeline");
     let figures: Vec<FigureId> = if all {
         FigureId::ALL.to_vec()
@@ -42,13 +45,14 @@ fn main() {
                 t.as_str() != "tpcw-cluster"
                     && t.as_str() != "tpcw-real"
                     && t.as_str() != "metrics"
+                    && t.as_str() != "tpcb-net"
                     && t.as_str() != "timeline"
             })
             .filter_map(|t| {
                 let id = FigureId::parse(t);
                 if id.is_none() {
                     eprintln!(
-                        "unknown figure id '{t}' (expected fig4..fig14, standalone, grouping, tpcw-cluster, metrics, timeline)"
+                        "unknown figure id '{t}' (expected fig4..fig14, standalone, grouping, tpcw-cluster, metrics, tpcb-net, timeline)"
                     );
                 }
                 id
@@ -64,6 +68,9 @@ fn main() {
     }
     if metrics {
         println!("{}", run_metrics(quick));
+    }
+    if tpcb_net {
+        println!("{}", run_tpcb_net(quick));
     }
     if timeline {
         println!("{}", run_timeline(quick));

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use tashkent::{Cluster, ClusterConfig, SystemKind};
+use tashkent::{Cluster, ClusterConfig, CounterId, SystemKind, TransportKind};
 use tashkent_sim::{Experiment, FigureId};
 use tashkent_workloads::{
     render_stage_breakdown, run_driver, DriverConfig, DriverReport, TpcB, TpcWBrowsing,
@@ -158,6 +158,107 @@ pub fn run_metrics(quick: bool) -> String {
             out.push_str(&render_stage_breakdown(&cluster.metrics_snapshot()));
         }
     }
+    // The network price tag on the same load: one in-process and one
+    // loopback TPC-B row side by side (the full transport sweep lives in
+    // `figures -- tpcb-net`).
+    out.push_str("## transports — loopback vs in-process (tashAPI, 1 shard)
+");
+    out.push_str(&format!("{}
+", DriverReport::table_header("transport")));
+    for (label, transport) in [
+        ("in-process", TransportKind::InProcess),
+        ("loopback", TransportKind::Loopback),
+    ] {
+        let mut config = ClusterConfig::small(SystemKind::TashkentApi);
+        config.replicas = 2;
+        config.clients_per_replica = 3;
+        config.transport = transport;
+        let cluster = Arc::new(Cluster::new(config).expect("valid configuration"));
+        let workload: Arc<dyn Workload> = Arc::new(TpcB {
+            branches: 4,
+            tellers_per_branch: 10,
+            accounts_per_branch: 200,
+        });
+        workload.setup(&cluster);
+        let report = run_driver(
+            &cluster,
+            &workload,
+            &DriverConfig {
+                clients_per_replica: 3,
+                duration: window,
+                seed: 0x7A5B_6101,
+                ..DriverConfig::default()
+            },
+        );
+        out.push_str(&format!("{}
+", report.table_row(label)));
+    }
+    out
+}
+
+/// Runs TPC-B on **real clusters** over every transport — in-process
+/// fan-out, the deterministic loopback network, and real TCP sockets — and
+/// renders one driver-report row per transport plus the wire-level
+/// counters (messages, bytes each way).  The loopback and TCP rows price
+/// the network hop against the in-process baseline on identical load.
+///
+/// This is the `figures -- tpcb-net` entry point.
+///
+/// `quick` shortens the per-point window for tests/CI.
+#[must_use]
+pub fn run_tpcb_net(quick: bool) -> String {
+    let window = if quick {
+        Duration::from_millis(150)
+    } else {
+        Duration::from_millis(500)
+    };
+    let mut out = String::new();
+    out.push_str("# tpcb-net — TPC-B across transports (tashAPI, real cluster)
+");
+    out.push_str(&format!(
+        "{}{:>12}{:>14}{:>14}
+",
+        DriverReport::table_header("transport"),
+        "net msgs",
+        "sent bytes",
+        "recv bytes"
+    ));
+    for (label, transport) in [
+        ("in-process", TransportKind::InProcess),
+        ("loopback", TransportKind::Loopback),
+        ("tcp", TransportKind::Tcp),
+    ] {
+        let mut config = ClusterConfig::small(SystemKind::TashkentApi);
+        config.replicas = 2;
+        config.clients_per_replica = 3;
+        config.transport = transport;
+        let cluster = Arc::new(Cluster::new(config).expect("valid configuration"));
+        let workload: Arc<dyn Workload> = Arc::new(TpcB {
+            branches: 4,
+            tellers_per_branch: 10,
+            accounts_per_branch: 200,
+        });
+        workload.setup(&cluster);
+        let report = run_driver(
+            &cluster,
+            &workload,
+            &DriverConfig {
+                clients_per_replica: 3,
+                duration: window,
+                seed: 0x7A5B_8001,
+                ..DriverConfig::default()
+            },
+        );
+        let snapshot = cluster.metrics_snapshot();
+        out.push_str(&format!(
+            "{}{:>12}{:>14}{:>14}
+",
+            report.table_row(label),
+            snapshot.counter(CounterId::NetMessages),
+            snapshot.counter(CounterId::NetBytesSent),
+            snapshot.counter(CounterId::NetBytesReceived),
+        ));
+    }
     out
 }
 
@@ -249,6 +350,38 @@ mod tests {
             assert!(text.contains(stage), "{stage}:\n{text}");
         }
         assert!(text.contains("queue high-water marks"), "{text}");
+    }
+
+    #[test]
+    fn tpcb_net_renders_one_row_per_transport_with_wire_counters() {
+        let text = run_tpcb_net(true);
+        for label in ["in-process", "loopback", "tcp"] {
+            assert!(text.contains(label), "{label}:\n{text}");
+        }
+        assert!(text.contains("net msgs"), "{text}");
+        // The in-process row must show zero traffic and the networked rows
+        // non-zero; with fixed column widths the cheapest robust check is
+        // that the rendered counters are not all zero.
+        let wire_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("loopback") || l.starts_with("tcp"))
+            .collect();
+        assert_eq!(wire_lines.len(), 2, "{text}");
+        for line in wire_lines {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            let msgs: u64 = cols[cols.len() - 3].parse().unwrap();
+            assert!(msgs > 0, "no wire traffic in: {line}");
+        }
+    }
+
+    #[test]
+    fn metrics_figure_compares_loopback_against_in_process() {
+        let text = run_metrics(true);
+        assert!(
+            text.contains("## transports — loopback vs in-process"),
+            "{text}"
+        );
+        assert!(text.contains("in-process"), "{text}");
     }
 
     #[test]

@@ -118,7 +118,7 @@ impl Default for CertifierConfig {
 }
 
 /// A certification request from a replica's proxy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CertificationRequest {
     /// The requesting replica.
     pub replica: ReplicaId,
@@ -161,7 +161,7 @@ impl CertificationDecision {
 /// The writeset is shared (`Arc`) with the certifier's log: responses to
 /// lagging replicas carry the whole unseen suffix, so handing out references
 /// instead of deep copies keeps certification off the allocator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RemoteWriteSet {
     /// The global version the writeset committed at.
     pub commit_version: Version,
@@ -176,7 +176,7 @@ pub struct RemoteWriteSet {
 }
 
 /// The certifier's reply to a certification request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CertificationResponse {
     /// Commit or abort.
     pub decision: CertificationDecision,

@@ -129,6 +129,57 @@ impl SyncMode {
     }
 }
 
+/// How the cluster's nodes talk to each other.
+///
+/// The replication logic is transport-agnostic: the proxies and the
+/// certifier exchange the same messages whether they share an address
+/// space or a network.  This knob selects the plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// Direct in-process calls (the historical default): proxies invoke the
+    /// certifier through shared memory with no serialisation.
+    InProcess,
+    /// The `tashkent-net` in-memory loopback transport: every message is
+    /// framed, encoded and decoded exactly as on a real network, and links
+    /// are deterministic and fault-injectable (sever/heal/partition by
+    /// seed) — the hook the fault harness uses for partition schedules.
+    Loopback,
+    /// Real TCP sockets on localhost via non-blocking `std::net`.
+    Tcp,
+}
+
+impl TransportKind {
+    /// All transports, in increasing order of realism.
+    pub const ALL: [TransportKind; 3] = [
+        TransportKind::InProcess,
+        TransportKind::Loopback,
+        TransportKind::Tcp,
+    ];
+
+    /// `true` if messages cross a real (or simulated) wire and therefore
+    /// go through the `tashkent-net` codec.
+    #[must_use]
+    pub fn is_networked(self) -> bool {
+        !matches!(self, TransportKind::InProcess)
+    }
+
+    /// Label used in benchmark output and the README transport matrix.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportKind::InProcess => "in-process",
+            TransportKind::Loopback => "loopback",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Layout of the disk IO channel(s) at each replica.
 ///
 /// The paper's servers have a single disk, so by default the WAL shares the
@@ -231,6 +282,9 @@ pub struct ClusterConfig {
     pub local_certification: bool,
     /// Enable eager pre-certification / deadlock avoidance (Section 8.2).
     pub eager_precertification: bool,
+    /// How proxies reach the certifier (appended last so configurations
+    /// serialised before networking existed keep their field order).
+    pub transport: TransportKind,
 }
 
 impl ClusterConfig {
@@ -256,6 +310,7 @@ impl ClusterConfig {
             staleness_bound: Duration::from_millis(50),
             local_certification: true,
             eager_precertification: true,
+            transport: TransportKind::InProcess,
         }
     }
 
@@ -274,6 +329,7 @@ impl ClusterConfig {
             staleness_bound: Duration::from_secs(2),
             local_certification: true,
             eager_precertification: true,
+            transport: TransportKind::InProcess,
         }
     }
 
@@ -398,6 +454,22 @@ mod tests {
         let cfg = ClusterConfig::paper(SystemKind::Base, 4, IoChannelMode::Dedicated);
         assert_eq!(cfg.replica_sync_mode(), SyncMode::Durable);
         assert_eq!(cfg.clients_per_replica, 10);
+    }
+
+    #[test]
+    fn transport_labels_and_defaults() {
+        assert_eq!(TransportKind::InProcess.to_string(), "in-process");
+        assert_eq!(TransportKind::Loopback.to_string(), "loopback");
+        assert_eq!(TransportKind::Tcp.to_string(), "tcp");
+        assert!(!TransportKind::InProcess.is_networked());
+        assert!(TransportKind::Loopback.is_networked());
+        assert!(TransportKind::Tcp.is_networked());
+        // Existing constructors stay in-process so nothing changes under
+        // callers that predate networking.
+        let cfg = ClusterConfig::small(SystemKind::Base);
+        assert_eq!(cfg.transport, TransportKind::InProcess);
+        let cfg = ClusterConfig::paper(SystemKind::TashkentApi, 4, IoChannelMode::Shared);
+        assert_eq!(cfg.transport, TransportKind::InProcess);
     }
 
     #[test]

@@ -100,7 +100,7 @@ impl Component {
 }
 
 /// Number of defined event kinds.
-pub const EVENT_KIND_COUNT: usize = 12;
+pub const EVENT_KIND_COUNT: usize = 15;
 
 /// What happened.  Kinds are deliberately commit-path-shaped: a grep for
 /// one transaction id across the merged timeline reconstructs its journey
@@ -131,6 +131,12 @@ pub enum EventKind {
     ReplicaCrash,
     /// A crashed replica recovered and rejoined.
     ReplicaRecover,
+    /// A network session completed its handshake (either side).
+    SessionOpen,
+    /// A network session closed (gracefully or on a broken link).
+    SessionClose,
+    /// A loopback link's fault state changed (severed or healed).
+    LinkFault,
 }
 
 impl EventKind {
@@ -148,6 +154,9 @@ impl EventKind {
         EventKind::Resync,
         EventKind::ReplicaCrash,
         EventKind::ReplicaRecover,
+        EventKind::SessionOpen,
+        EventKind::SessionClose,
+        EventKind::LinkFault,
     ];
 
     /// Dense index of this kind.
@@ -166,6 +175,9 @@ impl EventKind {
             EventKind::Resync => 9,
             EventKind::ReplicaCrash => 10,
             EventKind::ReplicaRecover => 11,
+            EventKind::SessionOpen => 12,
+            EventKind::SessionClose => 13,
+            EventKind::LinkFault => 14,
         }
     }
 
@@ -185,6 +197,9 @@ impl EventKind {
             EventKind::Resync => "resync",
             EventKind::ReplicaCrash => "replica_crash",
             EventKind::ReplicaRecover => "replica_recover",
+            EventKind::SessionOpen => "session_open",
+            EventKind::SessionClose => "session_close",
+            EventKind::LinkFault => "link_fault",
         }
     }
 

@@ -42,7 +42,7 @@ pub mod stats;
 pub mod value;
 pub mod writeset;
 
-pub use config::{ClusterConfig, IoChannelMode, SyncMode, SystemKind};
+pub use config::{ClusterConfig, IoChannelMode, SyncMode, SystemKind, TransportKind};
 pub use error::{Error, Result};
 pub use events::{
     chrome_trace_json, merge_timelines, text_timeline, Component, Event, EventKind, EventRing,

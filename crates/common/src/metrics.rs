@@ -102,7 +102,7 @@ impl Stage {
 }
 
 /// Number of defined counters.
-pub const COUNTER_COUNT: usize = 14;
+pub const COUNTER_COUNT: usize = 18;
 
 /// A monotonic event counter of the registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -135,6 +135,15 @@ pub enum CounterId {
     TrimmedLogEntries,
     /// Replica WAL records discarded by watermark-driven truncation.
     TrimmedWalRecords,
+    /// Payload bytes written to the wire by network sessions (frame
+    /// overhead included).
+    NetBytesSent,
+    /// Payload bytes read from the wire by network sessions.
+    NetBytesReceived,
+    /// Protocol messages exchanged over network sessions (both directions).
+    NetMessages,
+    /// Session re-establishments after a broken or severed link.
+    NetReconnects,
 }
 
 impl CounterId {
@@ -154,6 +163,10 @@ impl CounterId {
         CounterId::CheckpointsSealed,
         CounterId::TrimmedLogEntries,
         CounterId::TrimmedWalRecords,
+        CounterId::NetBytesSent,
+        CounterId::NetBytesReceived,
+        CounterId::NetMessages,
+        CounterId::NetReconnects,
     ];
 
     /// Dense index of this counter.
@@ -174,6 +187,10 @@ impl CounterId {
             CounterId::CheckpointsSealed => 11,
             CounterId::TrimmedLogEntries => 12,
             CounterId::TrimmedWalRecords => 13,
+            CounterId::NetBytesSent => 14,
+            CounterId::NetBytesReceived => 15,
+            CounterId::NetMessages => 16,
+            CounterId::NetReconnects => 17,
         }
     }
 
@@ -195,12 +212,16 @@ impl CounterId {
             CounterId::CheckpointsSealed => "checkpoints_sealed",
             CounterId::TrimmedLogEntries => "trimmed_log_entries",
             CounterId::TrimmedWalRecords => "trimmed_wal_records",
+            CounterId::NetBytesSent => "net_bytes_sent",
+            CounterId::NetBytesReceived => "net_bytes_received",
+            CounterId::NetMessages => "net_messages",
+            CounterId::NetReconnects => "net_reconnects",
         }
     }
 }
 
 /// Number of defined gauges.
-pub const GAUGE_COUNT: usize = 4;
+pub const GAUGE_COUNT: usize = 5;
 
 /// A queue-depth gauge of the registry.  Every gauge also tracks its
 /// high-water mark since registry creation.
@@ -217,6 +238,9 @@ pub enum GaugeId {
     /// live replica has applied *and* a sealed checkpoint covers (logs
     /// below it may be trimmed).
     TruncationWatermark,
+    /// Network sessions currently established (both ends of a loopback or
+    /// TCP connection count their own side).
+    OpenSessions,
 }
 
 impl GaugeId {
@@ -226,6 +250,7 @@ impl GaugeId {
         GaugeId::RemoteApplyBacklog,
         GaugeId::WalGroupBatch,
         GaugeId::TruncationWatermark,
+        GaugeId::OpenSessions,
     ];
 
     /// Dense index of this gauge.
@@ -236,6 +261,7 @@ impl GaugeId {
             GaugeId::RemoteApplyBacklog => 1,
             GaugeId::WalGroupBatch => 2,
             GaugeId::TruncationWatermark => 3,
+            GaugeId::OpenSessions => 4,
         }
     }
 
@@ -247,6 +273,7 @@ impl GaugeId {
             GaugeId::RemoteApplyBacklog => "remote_apply_backlog",
             GaugeId::WalGroupBatch => "wal_group_batch",
             GaugeId::TruncationWatermark => "truncation_watermark",
+            GaugeId::OpenSessions => "open_sessions",
         }
     }
 }

@@ -10,6 +10,7 @@ use tashkent_common::{
     ClusterConfig, CommitPathTrace, Error, Event, MetricsRegistry, MetricsSnapshot, ReplicaId,
     Result, ShardId, SystemKind, TableId, Version,
 };
+use tashkent_net::ClusterNet;
 use tashkent_proxy::{CertifierHandle, Proxy, ProxyStats, ProxyTransaction};
 use tashkent_storage::disk::DiskConfig;
 
@@ -32,12 +33,23 @@ pub struct ClusterStats {
     pub aborts: u64,
 }
 
-/// A running in-process replicated database cluster.
+/// A running replicated database cluster.
+///
+/// The proxies reach the certifier the way `ClusterConfig::transport`
+/// says: directly in-process, or across the wire of a
+/// [`ClusterNet`] (loopback or TCP).  Everything
+/// else — fault injection, trimming, metrics, the event journal — is
+/// transport-agnostic.
 pub struct Cluster {
     config: ClusterConfig,
+    /// The colocated (in-process) handle: control plane and cluster-level
+    /// inspection always use this, wire or no wire.
     certifier: CertifierHandle,
     replicas: Vec<Arc<ReplicaNode>>,
     metrics: Arc<MetricsRegistry>,
+    /// The cluster's network when the transport is networked.  Declared
+    /// last: sessions close after the replicas that used them are gone.
+    net: Option<ClusterNet>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -83,12 +95,29 @@ impl Cluster {
         } else {
             Arc::new(Certifier::new(certifier_config)).into()
         };
+        // Networked transports put a wire between every proxy and the
+        // certifier: the data plane of each replica's handle crosses a
+        // session, the control plane stays on the in-process handle.
+        let net = if config.transport.is_networked() {
+            Some(ClusterNet::start(
+                config.transport,
+                certifier.clone(),
+                config.replicas,
+                Arc::clone(&metrics),
+            )?)
+        } else {
+            None
+        };
         let replicas = (0..config.replicas)
             .map(|i| {
+                let handle = match &net {
+                    Some(net) => net.replica_handle(i),
+                    None => certifier.clone(),
+                };
                 Arc::new(ReplicaNode::new(
                     ReplicaId(i as u32),
                     &config,
-                    certifier.clone(),
+                    handle,
                     Arc::clone(&metrics),
                 ))
             })
@@ -98,7 +127,43 @@ impl Cluster {
             certifier,
             replicas,
             metrics,
+            net,
         })
+    }
+
+    /// The network under this cluster, when the transport is networked.
+    #[must_use]
+    pub fn net(&self) -> Option<&ClusterNet> {
+        self.net.as_ref()
+    }
+
+    /// Severs the loopback link between one replica's proxy and the
+    /// certifier.  Returns `false` (no-op) unless the cluster runs on the
+    /// loopback transport.
+    pub fn sever_certifier_link(&self, replica: usize) -> bool {
+        self.net
+            .as_ref()
+            .is_some_and(|net| net.sever_certifier_link(replica))
+    }
+
+    /// Heals one replica's loopback link to the certifier.
+    pub fn heal_certifier_link(&self, replica: usize) -> bool {
+        self.net
+            .as_ref()
+            .is_some_and(|net| net.heal_certifier_link(replica))
+    }
+
+    /// Severs every replica's link to the certifier — a full
+    /// replica↔certifier partition.
+    pub fn partition_certifier(&self) -> bool {
+        self.net
+            .as_ref()
+            .is_some_and(ClusterNet::partition_certifier)
+    }
+
+    /// Heals every severed link.
+    pub fn heal_all_links(&self) -> bool {
+        self.net.as_ref().is_some_and(ClusterNet::heal_all_links)
     }
 
     /// The cluster-wide metrics registry (shared by every replica engine,
@@ -481,6 +546,68 @@ mod tests {
 
     fn small(system: SystemKind) -> Cluster {
         Cluster::new(ClusterConfig::small(system)).unwrap()
+    }
+
+    #[test]
+    fn networked_transports_replicate_the_same_update() {
+        use tashkent_common::TransportKind;
+        for transport in [TransportKind::Loopback, TransportKind::Tcp] {
+            let mut config = ClusterConfig::small(SystemKind::TashkentApi);
+            config.transport = transport;
+            let cluster = Cluster::new(config).unwrap();
+            assert!(cluster.net().is_some());
+            let t = cluster.create_table("kv", &["v"]);
+            let tx = cluster.session(0).begin();
+            tx.insert(t, 1, vec![("v".into(), Value::Int(9))]).unwrap();
+            tx.commit().unwrap();
+            cluster.sync_all().unwrap();
+            for r in 0..cluster.replica_count() {
+                let tx = cluster.session(r).begin();
+                let row = tx.read(t, 1).unwrap().unwrap();
+                assert_eq!(row.get("v"), Some(&Value::Int(9)), "over {transport}");
+                tx.commit().unwrap();
+            }
+            assert_eq!(cluster.system_version(), Version(1));
+            let snapshot = cluster.metrics_snapshot();
+            assert!(
+                snapshot.counter(tashkent_common::CounterId::NetMessages) > 0,
+                "commits over {transport} must cross the wire"
+            );
+        }
+    }
+
+    #[test]
+    fn loopback_partitions_sever_and_heal_through_the_cluster() {
+        use tashkent_common::TransportKind;
+        let mut config = ClusterConfig::small(SystemKind::TashkentMw);
+        config.transport = TransportKind::Loopback;
+        let cluster = Cluster::new(config).unwrap();
+        let t = cluster.create_table("kv", &["v"]);
+        let tx = cluster.session(0).begin();
+        tx.insert(t, 1, vec![("v".into(), Value::Int(1))]).unwrap();
+        tx.commit().unwrap();
+
+        assert!(cluster.partition_certifier());
+        let tx = cluster.session(0).begin();
+        tx.update(t, 1, vec![("v".into(), Value::Int(2))]).unwrap();
+        let err = tx.commit().unwrap_err();
+        assert!(err.is_unavailable(), "partitioned commit fails fast: {err}");
+
+        assert!(cluster.heal_all_links());
+        let net = cluster.net().unwrap();
+        for r in 0..cluster.replica_count() {
+            net.client(r)
+                .wait_connected(std::time::Duration::from_secs(2))
+                .unwrap();
+        }
+        let tx = cluster.session(0).begin();
+        tx.update(t, 1, vec![("v".into(), Value::Int(3))]).unwrap();
+        tx.commit().unwrap();
+        cluster.sync_all().unwrap();
+        assert!(cluster
+            .events()
+            .iter()
+            .any(|e| e.kind == tashkent_common::EventKind::LinkFault));
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub use tashkent_certifier::{
 pub use tashkent_common::{
     chrome_trace_json, text_timeline, ClusterConfig, CommitPathTrace, Component, CounterId, Error,
     Event, EventKind, GaugeId, IoChannelMode, MetricsRegistry, MetricsSnapshot, ReplicaId, Result,
-    RowKey, ShardId, ShardMap, Stage, SyncMode, SystemKind, TableId, Value, Version, WriteSet,
+    RowKey, ShardId, ShardMap, Stage, SyncMode, SystemKind, TableId, TransportKind, Value,
+    Version, WriteSet,
 };
 pub use tashkent_proxy::{CertifierHandle, CommitOutcome, Proxy, ProxyConfig, ProxyTransaction};
 pub use tashkent_storage::{Database, EngineConfig, Row};

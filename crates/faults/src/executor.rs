@@ -19,7 +19,7 @@ use std::time::Duration;
 use tashkent::{Cluster, CertifierNodeId};
 use tashkent_common::{Error, Result};
 
-use crate::plan::{FaultAction, FaultEvent, FaultPlan, FaultTarget, NodePick};
+use crate::plan::{FaultAction, FaultEvent, FaultPlan, FaultTarget, LinkAction, LinkEvent, LinkTarget, NodePick};
 
 /// One executed event, with its pick resolved to a concrete victim.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +47,9 @@ pub struct ExecutionTrace {
     /// Planned recovers that kept failing mid-schedule and were left for
     /// the healing epilogue (non-quorum-safe schedules only).
     pub deferred_recovers: u64,
+    /// Link sever/heal events fired (partition schedules only; the field
+    /// is appended so existing trace consumers are unaffected).
+    pub link_events: u64,
 }
 
 impl ExecutionTrace {
@@ -59,6 +62,12 @@ impl ExecutionTrace {
             .map(|e| (e.fault, e.crash, e.target, e.node))
             .collect()
     }
+}
+
+/// One entry of the merged node+link firing timeline.
+enum MergedEvent<'p> {
+    Node(&'p FaultEvent),
+    Link(&'p LinkEvent),
 }
 
 /// Executes a fault plan against a cluster.
@@ -112,27 +121,50 @@ impl FaultExecutor {
         FaultInjector { stop, handle }
     }
 
+    /// Merges the crash/recover and link streams into one firing order by
+    /// ascending `at_version` (node events first at equal thresholds, so a
+    /// crash and a sever pinned to the same version replay in a stable
+    /// order).
+    fn merged_timeline<'p>(plan: &'p FaultPlan) -> Vec<MergedEvent<'p>> {
+        let mut timeline: Vec<MergedEvent<'p>> = plan
+            .events
+            .iter()
+            .map(MergedEvent::Node)
+            .chain(plan.links.iter().map(MergedEvent::Link))
+            .collect();
+        timeline.sort_by_key(|e| match e {
+            MergedEvent::Node(event) => (event.at_version, 0u8),
+            MergedEvent::Link(link) => (link.at_version, 1u8),
+        });
+        timeline
+    }
+
     fn run(self, stop: &AtomicBool) -> Result<ExecutionTrace> {
         let mut trace = ExecutionTrace::default();
         // Resolved victim per fault id, for the recover half and the healing
         // epilogue.
         let mut resolved: Vec<Option<(FaultTarget, Option<CertifierNodeId>)>> = Vec::new();
-        for event in &self.plan.events {
+        for merged in Self::merged_timeline(&self.plan) {
+            let at_version = match merged {
+                MergedEvent::Node(event) => event.at_version,
+                MergedEvent::Link(link) => link.at_version,
+            };
             // Wait for the injection point; once the load window closes the
             // remaining events fire immediately so the schedule always
             // completes.
-            while !stop.load(Ordering::Relaxed)
-                && self.cluster.system_version() < event.at_version
-            {
+            while !stop.load(Ordering::Relaxed) && self.cluster.system_version() < at_version {
                 thread::sleep(self.poll_interval);
             }
-            self.fire(event, &mut resolved, &mut trace)?;
+            match merged {
+                MergedEvent::Node(event) => self.fire(event, &mut resolved, &mut trace)?,
+                MergedEvent::Link(link) => self.fire_link(link, &mut trace),
+            }
         }
-        // Healing epilogue: recover anything still down — targets whose
-        // planned recover was deferred (it fired while the cluster was too
-        // degraded, e.g. during a total shard outage) and targets hand-built
-        // plans never recovered.  Certifier groups heal first: replica
-        // catch-up runs against them.
+        // Healing epilogue: heal severed links first — every recovery path
+        // below (donor state transfer, replica catch-up) may need the wire.
+        // Then certifier groups, then replicas: replica catch-up runs
+        // against healed groups.
+        self.cluster.heal_all_links();
         let entries: Vec<(FaultTarget, Option<CertifierNodeId>)> =
             resolved.into_iter().flatten().collect();
         for (target, node) in &entries {
@@ -249,6 +281,27 @@ impl FaultExecutor {
             }
         }
         Ok(())
+    }
+
+    /// Fires one link event.  On a non-loopback cluster the hooks are
+    /// no-ops (`false`), which keeps hand-built link plans harmless against
+    /// in-process clusters.
+    fn fire_link(&self, link: &LinkEvent, trace: &mut ExecutionTrace) {
+        match link.action {
+            LinkAction::Sever(LinkTarget::Replica(r)) => {
+                self.cluster.sever_certifier_link(r);
+            }
+            LinkAction::Sever(LinkTarget::AllReplicas) => {
+                self.cluster.partition_certifier();
+            }
+            LinkAction::Heal(LinkTarget::Replica(r)) => {
+                self.cluster.heal_certifier_link(r);
+            }
+            LinkAction::Heal(LinkTarget::AllReplicas) => {
+                self.cluster.heal_all_links();
+            }
+        }
+        trace.link_events += 1;
     }
 
     /// Runs a recovery action, retrying briefly: a recover fired while the

@@ -84,6 +84,9 @@ pub struct ScheduleConfig {
     /// down whole shard groups and every replica at once (see
     /// [`PlanConfig::total_outage`]).
     pub total_outage: bool,
+    /// Run the cluster over the in-memory loopback network and weave link
+    /// sever/heal events into the schedule (see [`PlanConfig::partition`]).
+    pub partition: bool,
 }
 
 impl ScheduleConfig {
@@ -120,6 +123,10 @@ impl ScheduleConfig {
             // space exercises non-quorum-safe schedules: majority loss,
             // whole shard groups down, every replica down.
             total_outage: rng.gen_bool(0.25),
+            // Same append-last convention, one draw later still: a fifth of
+            // the seed space runs over the loopback network with link
+            // faults layered onto the crash schedule.
+            partition: rng.gen_bool(0.2),
         }
     }
 
@@ -130,6 +137,11 @@ impl ScheduleConfig {
         config.replicas = self.replicas;
         config.certifier_shards = self.certifier_shards;
         config.clients_per_replica = self.clients_per_replica;
+        if self.partition {
+            // Link faults need a real wire to cut: run the whole cluster
+            // over the deterministic in-memory loopback transport.
+            config.transport = tashkent::TransportKind::Loopback;
+        }
         config
     }
 
@@ -145,6 +157,7 @@ impl ScheduleConfig {
         plan.faults = self.faults;
         plan.version_step = self.version_step;
         plan.total_outage = self.total_outage;
+        plan.partition = self.partition;
         plan
     }
 }

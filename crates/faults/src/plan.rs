@@ -95,6 +95,49 @@ pub struct FaultEvent {
     pub action: FaultAction,
 }
 
+/// Which replica↔certifier link a link fault hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkTarget {
+    /// One replica's link to the certifier.
+    Replica(usize),
+    /// Every replica's link at once — the full replica↔certifier
+    /// partition.
+    AllReplicas,
+}
+
+impl std::fmt::Display for LinkTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkTarget::Replica(r) => write!(f, "link replica-{r}<->certifier"),
+            LinkTarget::AllReplicas => write!(f, "links *<->certifier"),
+        }
+    }
+}
+
+/// One step of a link-fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkAction {
+    /// Cut the link: requests fail with `Unavailable`, reconnects are
+    /// refused, until the matching heal.
+    Sever(LinkTarget),
+    /// Restore the link severed by the paired sever event.
+    Heal(LinkTarget),
+}
+
+/// A link fault pinned to its version-threshold injection point.
+///
+/// Link events live in [`FaultPlan::links`] — a list *separate from*
+/// [`FaultPlan::events`], so plans generated before networking existed
+/// replay with byte-identical crash/recover schedules (the link stream is
+/// drawn from its own salted RNG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// Fire once the cluster's system version reaches this threshold.
+    pub at_version: Version,
+    /// What to do to which link.
+    pub action: LinkAction,
+}
+
 /// Bounds on schedule generation.
 #[derive(Debug, Clone)]
 pub struct PlanConfig {
@@ -119,6 +162,11 @@ pub struct PlanConfig {
     /// state transfer instead of a live donor.  Off by default; generated
     /// plans still pair every crash with a recover.
     pub total_outage: bool,
+    /// Also draw link faults (sever/heal of replica↔certifier loopback
+    /// links, including full partitions).  Appended last so configurations
+    /// serialised before networking existed keep their field order; the
+    /// crash/recover stream of a seed is unaffected either way.
+    pub partition: bool,
 }
 
 impl PlanConfig {
@@ -134,6 +182,7 @@ impl PlanConfig {
             target_replicas: true,
             target_certifiers: true,
             total_outage: false,
+            partition: false,
         }
     }
 
@@ -163,6 +212,10 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Events in ascending `at_version` order.
     pub events: Vec<FaultEvent>,
+    /// Link faults in ascending `at_version` order, drawn from a salted
+    /// RNG stream so their presence never changes `events` for a given
+    /// seed.  Empty unless [`PlanConfig::partition`] was set.
+    pub links: Vec<LinkEvent>,
 }
 
 impl FaultPlan {
@@ -173,6 +226,7 @@ impl FaultPlan {
         FaultPlan {
             seed: 0,
             events: Vec::new(),
+            links: Vec::new(),
         }
     }
 
@@ -197,6 +251,7 @@ impl FaultPlan {
                     action: FaultAction::Recover { fault: 0 },
                 },
             ],
+            links: Vec::new(),
         }
     }
 
@@ -298,7 +353,56 @@ impl FaultPlan {
                 break;
             }
         }
-        FaultPlan { seed, events }
+        let links = if config.partition {
+            Self::generate_links(seed, config, version)
+        } else {
+            Vec::new()
+        };
+        FaultPlan {
+            seed,
+            events,
+            links,
+        }
+    }
+
+    /// Salt separating the link-fault RNG stream from the crash/recover
+    /// stream, so turning partitions on never perturbs existing seeds.
+    const LINK_SALT: u64 = 0x11F0_1D5E_A5ED_11AB;
+
+    /// Draws the link-fault schedule: one to two sever/heal pairs spread
+    /// over the same version span as the crash/recover events.
+    fn generate_links(seed: u64, config: &PlanConfig, span: u64) -> Vec<LinkEvent> {
+        let mut rng = StdRng::seed_from_u64(seed ^ Self::LINK_SALT);
+        let step = config.version_step.max(1);
+        let mut links = Vec::new();
+        let mut version = 0u64;
+        let pairs = rng.gen_range(1..=2);
+        for _ in 0..pairs {
+            // A third of the pairs partition every replica at once; the
+            // rest cut a single replica's link.
+            let target = if config.replicas > 0 && !rng.gen_bool(1.0 / 3.0) {
+                LinkTarget::Replica(rng.gen_range(0..config.replicas))
+            } else {
+                LinkTarget::AllReplicas
+            };
+            version += rng.gen_range(1..=step);
+            let sever_at = Version(version);
+            version += rng.gen_range(1..=step);
+            let heal_at = Version(version);
+            links.push(LinkEvent {
+                at_version: sever_at,
+                action: LinkAction::Sever(target),
+            });
+            links.push(LinkEvent {
+                at_version: heal_at,
+                action: LinkAction::Heal(target),
+            });
+            // Spread later pairs across the rest of the plan's span.
+            if version < span {
+                version += rng.gen_range(0..=span - version);
+            }
+        }
+        links
     }
 
     /// The fault-pair identifiers present in the plan, in crash order.
@@ -329,7 +433,14 @@ impl FaultPlan {
                 })
                 .cloned()
                 .collect(),
+            links: self.links.clone(),
         }
+    }
+
+    /// Number of link sever/heal events in the plan.
+    #[must_use]
+    pub fn link_event_count(&self) -> usize {
+        self.links.len()
     }
 
     /// Number of crash/recover pairs.
@@ -359,6 +470,16 @@ impl std::fmt::Display for FaultPlan {
                         .flatten()
                         .map_or_else(|| "?".to_owned(), |t| t.to_string());
                     writeln!(f, "  v>={:<6} recover #{fault} {target}", event.at_version.value())?;
+                }
+            }
+        }
+        for link in &self.links {
+            match link.action {
+                LinkAction::Sever(target) => {
+                    writeln!(f, "  v>={:<6} sever   {target}", link.at_version.value())?;
+                }
+                LinkAction::Heal(target) => {
+                    writeln!(f, "  v>={:<6} heal    {target}", link.at_version.value())?;
                 }
             }
         }
@@ -491,6 +612,69 @@ mod tests {
         }
         assert!(saw_shard_outage, "some schedule downs a whole shard group");
         assert!(saw_replica_outage, "some schedule downs every replica");
+    }
+
+    #[test]
+    fn partitions_never_perturb_the_crash_stream() {
+        // The seed-replay contract across the networking change: a plan
+        // generated before link faults existed must keep its exact
+        // crash/recover schedule when partitions are enabled on top.
+        let mut with_links = config();
+        with_links.partition = true;
+        for seed in 0..50u64 {
+            let old = FaultPlan::generate(seed, &config());
+            let new = FaultPlan::generate(seed, &with_links);
+            assert!(old.links.is_empty(), "partition off draws no link faults");
+            assert_eq!(old.events, new.events, "seed {seed:#x} events must not move");
+            assert!(!new.links.is_empty(), "partition on draws link faults");
+        }
+    }
+
+    #[test]
+    fn link_schedules_are_paired_and_ascending() {
+        let mut config = config();
+        config.partition = true;
+        let mut saw_full_partition = false;
+        for seed in 0..50u64 {
+            let plan = FaultPlan::generate(seed, &config);
+            assert_eq!(plan.link_event_count(), plan.links.len());
+            let mut last = Version::ZERO;
+            let mut open: Option<LinkTarget> = None;
+            for link in &plan.links {
+                assert!(link.at_version > last, "link injection points ascend");
+                last = link.at_version;
+                match link.action {
+                    LinkAction::Sever(target) => {
+                        assert!(open.is_none(), "one link fault open at a time");
+                        if target == LinkTarget::AllReplicas {
+                            saw_full_partition = true;
+                        }
+                        open = Some(target);
+                    }
+                    LinkAction::Heal(target) => {
+                        assert_eq!(open.take(), Some(target), "heal pairs its sever");
+                    }
+                }
+            }
+            assert!(open.is_none(), "every sever is healed by plan end");
+            // Same seed replays the same links.
+            assert_eq!(plan.links, FaultPlan::generate(seed, &config).links);
+        }
+        assert!(saw_full_partition, "some schedule partitions every replica");
+    }
+
+    #[test]
+    fn display_renders_link_events() {
+        let mut config = config();
+        config.partition = true;
+        let plan = (0..50u64)
+            .map(|seed| FaultPlan::generate(seed, &config))
+            .find(|p| !p.links.is_empty())
+            .expect("some plan has link faults");
+        let text = plan.to_string();
+        assert!(text.contains("sever"));
+        assert!(text.contains("heal"));
+        assert!(text.contains("certifier"));
     }
 
     #[test]

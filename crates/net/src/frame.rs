@@ -1,0 +1,215 @@
+//! The `TKNP` wire frame.
+//!
+//! Every message travels inside one frame:
+//!
+//! ```text
+//! +-------+---------+----------+-----------------+----------+
+//! | magic | version | length   | payload         | checksum |
+//! | TKNP  | u16 BE  | u32 BE   | `length` bytes  | u32 BE   |
+//! +-------+---------+----------+-----------------+----------+
+//! ```
+//!
+//! The checksum is FNV-1a over the payload only (same function the storage
+//! log uses, so a corrupted frame and a corrupted log record report through
+//! the same [`Error::Corruption`] channel).  A frame whose `version` differs
+//! from [`PROTOCOL_VERSION`] is *skipped* — its length is trusted, its
+//! payload discarded — so a rolling upgrade never panics an old node, it
+//! just ignores what it cannot parse.  A frame with a bad magic is a
+//! [`Error::Protocol`] error: the stream is not speaking TKNP at all and the
+//! session must be torn down.
+
+use tashkent_common::{Error, Result};
+use tashkent_storage::codec::checksum;
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"TKNP";
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame overhead in bytes: magic + version + length + checksum.
+pub const FRAME_OVERHEAD: usize = 4 + 2 + 4 + 4;
+
+/// The largest payload a peer may send (16 MiB).  A length above this is
+/// treated as corruption — it is far beyond any writeset batch the cluster
+/// produces and protects the reader from allocating on garbage.
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+/// Encodes one payload into a complete frame at [`PROTOCOL_VERSION`].
+#[must_use]
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    encode_frame_with_version(payload, PROTOCOL_VERSION)
+}
+
+/// Encodes one payload into a complete frame at an explicit protocol
+/// version (tests use this to exercise the cross-version skip path).
+#[must_use]
+pub fn encode_frame_with_version(payload: &[u8], version: u16) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&version.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&checksum(payload).to_be_bytes());
+    out
+}
+
+/// An incremental frame decoder.
+///
+/// Feed it whatever bytes the transport produced ([`FrameReader::push`]) and
+/// drain complete payloads ([`FrameReader::next_frame`]).  Partial frames
+/// simply wait for more bytes; malformed ones return typed errors.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    skipped_versions: u64,
+}
+
+impl FrameReader {
+    /// Creates an empty reader.
+    #[must_use]
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Appends transport bytes to the internal buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered bytes not yet consumed by a complete frame.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// How many well-formed frames of a *different* protocol version have
+    /// been skipped so far.
+    #[must_use]
+    pub fn skipped_versions(&self) -> u64 {
+        self.skipped_versions
+    }
+
+    /// Returns the next complete payload, `None` if more bytes are needed.
+    ///
+    /// Frames carrying a different protocol version are skipped (counted in
+    /// [`FrameReader::skipped_versions`]) and decoding continues with the
+    /// next frame.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Protocol`] — the stream does not start with the `TKNP`
+    ///   magic; the connection is not speaking this protocol.
+    /// * [`Error::Corruption`] — the length field is implausible or the
+    ///   payload checksum does not match.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        loop {
+            if self.buf.len() < FRAME_OVERHEAD {
+                return Ok(None);
+            }
+            if self.buf[0..4] != MAGIC {
+                return Err(Error::Protocol(format!(
+                    "bad frame magic {:02x?} (expected {:02x?})",
+                    &self.buf[0..4],
+                    MAGIC
+                )));
+            }
+            let version = u16::from_be_bytes([self.buf[4], self.buf[5]]);
+            let length =
+                u32::from_be_bytes([self.buf[6], self.buf[7], self.buf[8], self.buf[9]]) as usize;
+            if length > MAX_PAYLOAD {
+                return Err(Error::Corruption(format!(
+                    "frame length {length} exceeds the {MAX_PAYLOAD}-byte maximum"
+                )));
+            }
+            let total = FRAME_OVERHEAD + length;
+            if self.buf.len() < total {
+                return Ok(None);
+            }
+            let payload_end = 10 + length;
+            let stored = u32::from_be_bytes([
+                self.buf[payload_end],
+                self.buf[payload_end + 1],
+                self.buf[payload_end + 2],
+                self.buf[payload_end + 3],
+            ]);
+            let computed = checksum(&self.buf[10..payload_end]);
+            if stored != computed {
+                return Err(Error::Corruption(format!(
+                    "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )));
+            }
+            if version != PROTOCOL_VERSION {
+                // A well-formed frame from another protocol version: skip
+                // it and keep decoding.
+                self.skipped_versions += 1;
+                self.buf.drain(0..total);
+                continue;
+            }
+            let payload = self.buf[10..payload_end].to_vec();
+            self.buf.drain(0..total);
+            return Ok(Some(payload));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_across_arbitrary_splits() {
+        let payloads: Vec<Vec<u8>> = vec![vec![], vec![7], vec![0xAB; 1000]];
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend_from_slice(&encode_frame(p));
+        }
+        // Feed one byte at a time: partial frames must wait, never error.
+        let mut reader = FrameReader::new();
+        let mut out = Vec::new();
+        for b in &wire {
+            reader.push(&[*b]);
+            while let Some(p) = reader.next_frame().unwrap() {
+                out.push(p);
+            }
+        }
+        assert_eq!(out, payloads);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_typed_error() {
+        let mut wire = encode_frame(b"hello");
+        wire[12] ^= 0xFF;
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        assert!(matches!(reader.next_frame(), Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn bad_magic_is_a_protocol_error() {
+        let mut wire = encode_frame(b"hello");
+        wire[0] = b'X';
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        assert!(matches!(reader.next_frame(), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn cross_version_frames_are_skipped_not_fatal() {
+        let mut reader = FrameReader::new();
+        reader.push(&encode_frame_with_version(b"from the future", 9));
+        reader.push(&encode_frame(b"current"));
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"current");
+        assert_eq!(reader.skipped_versions(), 1);
+    }
+
+    #[test]
+    fn implausible_length_is_corruption() {
+        let mut wire = encode_frame(b"x");
+        wire[6] = 0xFF; // length high byte -> ~4 GiB
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        assert!(matches!(reader.next_frame(), Err(Error::Corruption(_))));
+    }
+}

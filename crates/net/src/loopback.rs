@@ -1,0 +1,411 @@
+//! The deterministic in-memory loopback transport.
+//!
+//! [`LoopbackNet`] is a tiny in-process "network": listeners register under
+//! logical endpoint names (`certifier`, `replica-0`, ...), dialling pushes a
+//! connection into the listener's backlog, and each established connection
+//! is a pair of bounded in-memory byte queues.  Because nothing leaves the
+//! process, runs are as reproducible as the in-process cluster — which is
+//! exactly what the fault harness needs.
+//!
+//! Fault injection hooks:
+//!
+//! * [`LoopbackNet::sever`] / [`LoopbackNet::heal`] cut or restore the link
+//!   between two endpoints.  A severed link kills established connections
+//!   (both directions) *and* refuses new dials, so a partition behaves like
+//!   a real one: in-flight requests fail with
+//!   [`Error::Unavailable`] and
+//!   reconnect attempts keep failing until the link heals.
+//! * [`LoopbackNet::set_drop_rate`] makes the network randomly reset
+//!   established connections (seeded, so a given seed yields the same drop
+//!   points for a serial caller) — this is how the session manager's
+//!   reconnect path is exercised.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tashkent_common::{Error, Result};
+
+use crate::transport::{Connection, Listener, Transport};
+
+/// Per-direction buffered-byte cap; a sender whose peer is this far behind
+/// sees `Ok(0)` (would block) and must poll again — backpressure, not OOM.
+const PIPE_CAPACITY: usize = 8 << 20;
+
+/// A link name pair in canonical (sorted) order, so `sever(a, b)` and
+/// `sever(b, a)` name the same link.
+fn link_key(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+#[derive(Default)]
+struct NetState {
+    /// Accept backlog per listening endpoint (`None` once closed).
+    backlogs: HashMap<String, VecDeque<LoopbackConn>>,
+    /// Currently severed links.
+    severed: HashSet<(String, String)>,
+    /// Seeded connection-reset injection.
+    drop_rng: Option<(StdRng, f64)>,
+}
+
+/// The shared in-memory network: a registry of listeners and link states.
+pub struct LoopbackNet {
+    state: Mutex<NetState>,
+}
+
+impl Default for LoopbackNet {
+    fn default() -> Self {
+        LoopbackNet::new()
+    }
+}
+
+impl LoopbackNet {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> LoopbackNet {
+        LoopbackNet {
+            state: Mutex::new(NetState::default()),
+        }
+    }
+
+    /// Creates an [`Arc`]-shared network (the usual way to use one).
+    #[must_use]
+    pub fn shared() -> Arc<LoopbackNet> {
+        Arc::new(LoopbackNet::new())
+    }
+
+    /// A transport view of this network for a node named `local`; the name
+    /// identifies the node's end of every link it dials.
+    #[must_use]
+    pub fn transport(self: &Arc<Self>, local: &str) -> LoopbackTransport {
+        LoopbackTransport {
+            net: Arc::clone(self),
+            local: local.to_string(),
+        }
+    }
+
+    /// Severs the link between two endpoints: established connections die
+    /// and new dials fail until [`LoopbackNet::heal`].  Returns `true` if
+    /// the link was previously healthy.
+    pub fn sever(&self, a: &str, b: &str) -> bool {
+        self.state.lock().severed.insert(link_key(a, b))
+    }
+
+    /// Heals a severed link.  Returns `true` if it was severed.
+    pub fn heal(&self, a: &str, b: &str) -> bool {
+        self.state.lock().severed.remove(&link_key(a, b))
+    }
+
+    /// Heals every severed link; returns how many there were.
+    pub fn heal_all(&self) -> usize {
+        let mut state = self.state.lock();
+        let n = state.severed.len();
+        state.severed.clear();
+        n
+    }
+
+    /// `true` if the link between `a` and `b` is currently severed.
+    #[must_use]
+    pub fn is_severed(&self, a: &str, b: &str) -> bool {
+        self.state.lock().severed.contains(&link_key(a, b))
+    }
+
+    /// Enables seeded random connection resets: each send has probability
+    /// `rate` of resetting its connection first.  `rate = 0.0` disables.
+    pub fn set_drop_rate(&self, seed: u64, rate: f64) {
+        let mut state = self.state.lock();
+        state.drop_rng = if rate > 0.0 {
+            Some((StdRng::seed_from_u64(seed), rate))
+        } else {
+            None
+        };
+    }
+
+    fn roll_drop(&self) -> bool {
+        let mut state = self.state.lock();
+        match &mut state.drop_rng {
+            Some((rng, rate)) => {
+                let rate = *rate;
+                rng.gen_bool(rate)
+            }
+            None => false,
+        }
+    }
+}
+
+/// A node-scoped view of a [`LoopbackNet`] implementing [`Transport`].
+pub struct LoopbackTransport {
+    net: Arc<LoopbackNet>,
+    local: String,
+}
+
+impl Transport for LoopbackTransport {
+    fn listen(&self, endpoint: &str) -> Result<Box<dyn Listener>> {
+        let mut state = self.net.state.lock();
+        if state.backlogs.contains_key(endpoint) {
+            return Err(Error::InvalidConfig(format!(
+                "loopback endpoint '{endpoint}' is already listening"
+            )));
+        }
+        state.backlogs.insert(endpoint.to_string(), VecDeque::new());
+        Ok(Box::new(LoopbackListener {
+            net: Arc::clone(&self.net),
+            endpoint: endpoint.to_string(),
+        }))
+    }
+
+    fn dial(&self, endpoint: &str) -> Result<Box<dyn Connection>> {
+        let link = link_key(&self.local, endpoint);
+        let mut state = self.net.state.lock();
+        if state.severed.contains(&link) {
+            return Err(Error::Unavailable(format!(
+                "loopback link {} <-> {} is severed",
+                self.local, endpoint
+            )));
+        }
+        let (client, server) = LoopbackConn::pair(
+            Arc::clone(&self.net),
+            link,
+            endpoint.to_string(),
+            self.local.clone(),
+        );
+        match state.backlogs.get_mut(endpoint) {
+            Some(backlog) => {
+                backlog.push_back(server);
+                Ok(Box::new(client))
+            }
+            None => Err(Error::Unavailable(format!(
+                "no loopback listener at '{endpoint}'"
+            ))),
+        }
+    }
+}
+
+struct LoopbackListener {
+    net: Arc<LoopbackNet>,
+    endpoint: String,
+}
+
+impl Listener for LoopbackListener {
+    fn try_accept(&mut self) -> Result<Option<Box<dyn Connection>>> {
+        let mut state = self.net.state.lock();
+        match state.backlogs.get_mut(&self.endpoint) {
+            Some(backlog) => Ok(backlog
+                .pop_front()
+                .map(|conn| Box::new(conn) as Box<dyn Connection>)),
+            None => Err(Error::Unavailable(format!(
+                "loopback listener '{}' is closed",
+                self.endpoint
+            ))),
+        }
+    }
+
+    fn local_endpoint(&self) -> String {
+        self.endpoint.clone()
+    }
+}
+
+impl Drop for LoopbackListener {
+    fn drop(&mut self) {
+        self.net.state.lock().backlogs.remove(&self.endpoint);
+    }
+}
+
+/// One direction of a loopback pipe.
+#[derive(Default)]
+struct Pipe {
+    bytes: VecDeque<u8>,
+    closed: bool,
+}
+
+/// One end of an established loopback connection.
+struct LoopbackConn {
+    net: Arc<LoopbackNet>,
+    link: (String, String),
+    peer_name: String,
+    /// Bytes flowing towards this end.
+    inbound: Arc<Mutex<Pipe>>,
+    /// Bytes flowing towards the peer.
+    outbound: Arc<Mutex<Pipe>>,
+}
+
+impl LoopbackConn {
+    fn pair(
+        net: Arc<LoopbackNet>,
+        link: (String, String),
+        dialed: String,
+        dialer: String,
+    ) -> (LoopbackConn, LoopbackConn) {
+        let a = Arc::new(Mutex::new(Pipe::default()));
+        let b = Arc::new(Mutex::new(Pipe::default()));
+        let client = LoopbackConn {
+            net: Arc::clone(&net),
+            link: link.clone(),
+            peer_name: dialed,
+            inbound: Arc::clone(&a),
+            outbound: Arc::clone(&b),
+        };
+        let server = LoopbackConn {
+            net,
+            link,
+            peer_name: dialer,
+            inbound: b,
+            outbound: a,
+        };
+        (client, server)
+    }
+
+    fn reset(&self) {
+        self.inbound.lock().closed = true;
+        self.outbound.lock().closed = true;
+    }
+
+    fn severed(&self) -> bool {
+        self.net
+            .state
+            .lock()
+            .severed
+            .contains(&self.link)
+    }
+}
+
+impl Connection for LoopbackConn {
+    fn try_send(&mut self, bytes: &[u8]) -> Result<usize> {
+        if self.severed() {
+            self.reset();
+        }
+        if self.net.roll_drop() {
+            self.reset();
+        }
+        let mut pipe = self.outbound.lock();
+        if pipe.closed {
+            return Err(Error::Unavailable(format!(
+                "loopback connection to {} is closed",
+                self.peer_name
+            )));
+        }
+        let room = PIPE_CAPACITY.saturating_sub(pipe.bytes.len());
+        let n = bytes.len().min(room);
+        pipe.bytes.extend(&bytes[..n]);
+        Ok(n)
+    }
+
+    fn try_recv(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if self.severed() {
+            self.reset();
+        }
+        let mut pipe = self.inbound.lock();
+        let n = pipe.bytes.len().min(buf.len());
+        if n > 0 {
+            for slot in buf.iter_mut().take(n) {
+                *slot = pipe.bytes.pop_front().expect("counted above");
+            }
+            return Ok(n);
+        }
+        if pipe.closed {
+            return Err(Error::Unavailable(format!(
+                "loopback connection to {} is closed",
+                self.peer_name
+            )));
+        }
+        Ok(0)
+    }
+
+    fn peer(&self) -> String {
+        self.peer_name.clone()
+    }
+}
+
+impl Drop for LoopbackConn {
+    fn drop(&mut self) {
+        self.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn establish(
+        net: &Arc<LoopbackNet>,
+    ) -> (Box<dyn Connection>, Box<dyn Connection>, Box<dyn Listener>) {
+        let server_side = net.transport("certifier");
+        let mut listener = server_side.listen("certifier").unwrap();
+        let client = net.transport("replica-0").dial("certifier").unwrap();
+        let server = listener.try_accept().unwrap().unwrap();
+        (client, server, listener)
+    }
+
+    #[test]
+    fn bytes_flow_both_ways() {
+        let net = LoopbackNet::shared();
+        let (mut client, mut server, _listener) = establish(&net);
+        assert_eq!(client.try_send(b"ping").unwrap(), 4);
+        let mut buf = [0u8; 16];
+        assert_eq!(server.try_recv(&mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"ping");
+        assert_eq!(server.try_send(b"pong").unwrap(), 4);
+        assert_eq!(client.try_recv(&mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"pong");
+        assert_eq!(client.try_recv(&mut buf).unwrap(), 0, "empty = would block");
+        assert_eq!(client.peer(), "certifier");
+        assert_eq!(server.peer(), "replica-0");
+    }
+
+    #[test]
+    fn severed_links_kill_connections_and_refuse_dials() {
+        let net = LoopbackNet::shared();
+        let (mut client, _server, _listener) = establish(&net);
+        assert!(net.sever("replica-0", "certifier"));
+        assert!(client.try_send(b"x").is_err());
+        assert!(net
+            .transport("replica-0")
+            .dial("certifier")
+            .is_err_and(|e| e.is_unavailable()));
+        // Another replica's link is unaffected.
+        assert!(net.transport("replica-1").dial("certifier").is_ok());
+        assert_eq!(net.heal_all(), 1);
+        assert!(net.transport("replica-0").dial("certifier").is_ok());
+    }
+
+    #[test]
+    fn peer_drop_surfaces_as_unavailable_after_drain() {
+        let net = LoopbackNet::shared();
+        let (mut client, server, _listener) = establish(&net);
+        assert_eq!(client.try_send(b"last words").unwrap(), 10);
+        drop(server);
+        // Buffered bytes are still deliverable... to nobody here; the
+        // client's own reads see the close.
+        let mut buf = [0u8; 4];
+        assert!(client.try_recv(&mut buf).is_err());
+        assert!(client.try_send(b"x").is_err());
+    }
+
+    #[test]
+    fn seeded_drops_reset_connections() {
+        let net = LoopbackNet::shared();
+        net.set_drop_rate(0xD20B, 1.0);
+        let (mut client, _server, listener) = establish(&net);
+        assert!(client.try_send(b"x").is_err(), "rate 1.0 drops immediately");
+        net.set_drop_rate(0, 0.0);
+        drop(listener);
+        let (mut client, _server2, _listener2) = establish(&net);
+        assert!(client.try_send(b"x").is_ok());
+    }
+
+    #[test]
+    fn listener_names_are_exclusive_until_dropped() {
+        let net = LoopbackNet::shared();
+        let t = net.transport("certifier");
+        let listener = t.listen("certifier").unwrap();
+        assert!(t.listen("certifier").is_err());
+        drop(listener);
+        assert!(t.listen("certifier").is_ok());
+    }
+}

@@ -1,0 +1,183 @@
+//! The TCP transport: real non-blocking `std::net` sockets.
+//!
+//! Endpoints are socket addresses; listening on `127.0.0.1:0` binds a free
+//! port, and [`Listener::local_endpoint`] reports the actual address for
+//! clients to dial.  No async runtime is involved: sockets are put into
+//! non-blocking mode and the event loops poll them like any other
+//! [`Connection`].
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use tashkent_common::{Error, Result};
+
+use crate::transport::{Connection, Listener, Transport};
+
+/// The [`Transport`] over real TCP sockets.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TcpTransport;
+
+impl TcpTransport {
+    /// Creates the transport (stateless; all state lives in the OS).
+    #[must_use]
+    pub fn new() -> TcpTransport {
+        TcpTransport
+    }
+}
+
+impl Transport for TcpTransport {
+    fn listen(&self, endpoint: &str) -> Result<Box<dyn Listener>> {
+        let listener = TcpListener::bind(endpoint)
+            .map_err(|e| Error::Io(format!("bind {endpoint}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Io(format!("set_nonblocking: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| Error::Io(format!("local_addr: {e}")))?
+            .to_string();
+        Ok(Box::new(TcpListenerHandle { listener, local }))
+    }
+
+    fn dial(&self, endpoint: &str) -> Result<Box<dyn Connection>> {
+        let stream = TcpStream::connect(endpoint)
+            .map_err(|e| Error::Unavailable(format!("connect {endpoint}: {e}")))?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| Error::Io(format!("set_nonblocking: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| Error::Io(format!("set_nodelay: {e}")))?;
+        Ok(Box::new(TcpConn {
+            peer: endpoint.to_string(),
+            stream,
+        }))
+    }
+}
+
+struct TcpListenerHandle {
+    listener: TcpListener,
+    local: String,
+}
+
+impl Listener for TcpListenerHandle {
+    fn try_accept(&mut self) -> Result<Option<Box<dyn Connection>>> {
+        match self.listener.accept() {
+            Ok((stream, addr)) => {
+                stream
+                    .set_nonblocking(true)
+                    .map_err(|e| Error::Io(format!("set_nonblocking: {e}")))?;
+                stream
+                    .set_nodelay(true)
+                    .map_err(|e| Error::Io(format!("set_nodelay: {e}")))?;
+                Ok(Some(Box::new(TcpConn {
+                    peer: addr.to_string(),
+                    stream,
+                })))
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(Error::Unavailable(format!("accept: {e}"))),
+        }
+    }
+
+    fn local_endpoint(&self) -> String {
+        self.local.clone()
+    }
+}
+
+struct TcpConn {
+    peer: String,
+    stream: TcpStream,
+}
+
+impl Connection for TcpConn {
+    fn try_send(&mut self, bytes: &[u8]) -> Result<usize> {
+        match self.stream.write(bytes) {
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(0),
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(Error::Unavailable(format!(
+                "send to {}: {e}",
+                self.peer
+            ))),
+        }
+    }
+
+    fn try_recv(&mut self, buf: &mut [u8]) -> Result<usize> {
+        match self.stream.read(buf) {
+            // A zero-byte read on a readable TCP socket is EOF: the peer
+            // closed its end (trait semantics reserve Ok(0) for would-block).
+            Ok(0) => Err(Error::Unavailable(format!(
+                "{} closed the connection",
+                self.peer
+            ))),
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(0),
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(Error::Unavailable(format!(
+                "recv from {}: {e}",
+                self.peer
+            ))),
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn localhost_round_trip_through_a_kernel_socket() {
+        let transport = TcpTransport::new();
+        let mut listener = transport.listen("127.0.0.1:0").unwrap();
+        let addr = listener.local_endpoint();
+        assert!(addr.ends_with(|c: char| c.is_ascii_digit()));
+        let mut client = transport.dial(&addr).unwrap();
+
+        let server = loop {
+            if let Some(conn) = listener.try_accept().unwrap() {
+                break conn;
+            }
+            std::thread::yield_now();
+        };
+        let mut server = server;
+
+        assert_eq!(client.try_send(b"over tcp").unwrap(), 8);
+        let mut buf = [0u8; 16];
+        let mut got = 0;
+        while got < 8 {
+            got += server.try_recv(&mut buf[got..]).unwrap();
+            std::thread::yield_now();
+        }
+        assert_eq!(&buf[..8], b"over tcp");
+
+        drop(client);
+        // The server side eventually observes the close as Unavailable.
+        let mut closed = false;
+        for _ in 0..1000 {
+            match server.try_recv(&mut buf) {
+                Err(e) if e.is_unavailable() => {
+                    closed = true;
+                    break;
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        assert!(closed, "peer close must surface as Unavailable");
+    }
+
+    #[test]
+    fn dialling_a_dead_port_is_unavailable() {
+        let transport = TcpTransport::new();
+        // Bind-then-drop to find a port nobody is listening on.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        assert!(transport.dial(&addr).is_err_and(|e| e.is_unavailable()));
+    }
+}

@@ -17,6 +17,41 @@ use tashkent_certifier::{
 };
 use tashkent_common::{Result, ShardId, Version, WriteSet};
 
+/// The certification *data plane* as seen from across a wire.
+///
+/// These are exactly the operations a replica's proxy performs per
+/// transaction (or during recovery catch-up) — the ones that must travel
+/// when the certifier is a remote process.  `tashkent-net` implements this
+/// trait with a framed wire protocol; everything else on
+/// [`CertifierHandle`] is control plane (fault injection, checkpointing,
+/// log inspection) and stays on the colocated in-process handle.
+pub trait CertifierService: Send + Sync {
+    /// Certifies an update transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`tashkent_common::Error::Unavailable`] if the certifier has
+    /// lost its majority *or* the wire to it is down.
+    fn certify(&self, request: &CertificationRequest) -> Result<CertificationResponse>;
+
+    /// The remote writesets committed after `since`, in ascending global
+    /// version order.  Returns an empty stream when the wire is down (the
+    /// proxy's bounded-staleness refresh retries later).
+    fn writesets_after(&self, since: Version) -> Vec<RemoteWriteSet>;
+
+    /// The certifier's global system version (the last observed one when
+    /// the wire is down).
+    fn system_version(&self) -> Version;
+
+    /// `true` if certification can currently make progress end to end —
+    /// majority up *and* the wire reachable.
+    fn is_available(&self) -> bool;
+
+    /// The certifier's truncation floor (recovery refuses to catch up a
+    /// replica whose version lies below it).
+    fn truncation_floor(&self) -> Version;
+}
+
 /// A cheaply-cloneable handle to the cluster's certification service.
 #[derive(Clone)]
 pub enum CertifierHandle {
@@ -25,6 +60,18 @@ pub enum CertifierHandle {
     /// The sharded certifier (PR 4): per-shard logs behind a global
     /// sequencer.
     Sharded(Arc<ShardedCertifier>),
+    /// A certifier reached over a wire: the data plane goes through a
+    /// [`CertifierService`] (network round-trips), while the control plane
+    /// — fault injection, checkpoint/truncation, log inspection — delegates
+    /// to the colocated in-process handle the service fronts.  This keeps
+    /// the fault executor, the trimmer and the oracle transport-agnostic.
+    Remote {
+        /// The wire-facing data plane.
+        service: Arc<dyn CertifierService>,
+        /// The in-process handle behind the server, for control-plane
+        /// operations.
+        colocated: Box<CertifierHandle>,
+    },
 }
 
 impl std::fmt::Debug for CertifierHandle {
@@ -32,6 +79,9 @@ impl std::fmt::Debug for CertifierHandle {
         match self {
             CertifierHandle::Single(c) => f.debug_tuple("Single").field(c).finish(),
             CertifierHandle::Sharded(c) => f.debug_tuple("Sharded").field(c).finish(),
+            CertifierHandle::Remote { colocated, .. } => {
+                f.debug_tuple("Remote").field(colocated).finish()
+            }
         }
     }
 }
@@ -59,6 +109,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.certify(request),
             CertifierHandle::Sharded(c) => c.certify(request),
+            CertifierHandle::Remote { service, .. } => service.certify(request),
         }
     }
 
@@ -75,6 +126,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.writesets_after(since),
             CertifierHandle::Sharded(c) => c.writesets_after(since),
+            CertifierHandle::Remote { service, .. } => service.writesets_after(since),
         }
     }
 
@@ -84,6 +136,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.system_version(),
             CertifierHandle::Sharded(c) => c.system_version(),
+            CertifierHandle::Remote { service, .. } => service.system_version(),
         }
     }
 
@@ -94,6 +147,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.is_available(),
             CertifierHandle::Sharded(c) => c.is_available(),
+            CertifierHandle::Remote { service, .. } => service.is_available(),
         }
     }
 
@@ -103,6 +157,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.crash_node(node),
             CertifierHandle::Sharded(c) => c.crash_node(node),
+            CertifierHandle::Remote { colocated, .. } => colocated.crash_node(node),
         }
     }
 
@@ -116,6 +171,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.recover_node(node),
             CertifierHandle::Sharded(c) => c.recover_node(node),
+            CertifierHandle::Remote { colocated, .. } => colocated.recover_node(node),
         }
     }
 
@@ -127,6 +183,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.stats(),
             CertifierHandle::Sharded(c) => c.stats().aggregate(),
+            CertifierHandle::Remote { colocated, .. } => colocated.stats(),
         }
     }
 
@@ -140,6 +197,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(_) => 1,
             CertifierHandle::Sharded(c) => c.shard_count(),
+            CertifierHandle::Remote { colocated, .. } => colocated.shard_count(),
         }
     }
 
@@ -149,6 +207,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.node_count(),
             CertifierHandle::Sharded(c) => c.nodes_per_shard(),
+            CertifierHandle::Remote { colocated, .. } => colocated.nodes_per_shard(),
         }
     }
 
@@ -165,6 +224,7 @@ impl CertifierHandle {
                 c.leader()
             }
             CertifierHandle::Sharded(c) => c.shard_leader(shard),
+            CertifierHandle::Remote { colocated, .. } => colocated.shard_leader(shard),
         }
     }
 
@@ -181,6 +241,7 @@ impl CertifierHandle {
                 c.up_nodes()
             }
             CertifierHandle::Sharded(c) => c.shard_up_nodes(shard),
+            CertifierHandle::Remote { colocated, .. } => colocated.shard_up_nodes(shard),
         }
     }
 
@@ -196,6 +257,7 @@ impl CertifierHandle {
                 c.crash_node(node);
             }
             CertifierHandle::Sharded(c) => c.crash_shard_node(shard, node),
+            CertifierHandle::Remote { colocated, .. } => colocated.crash_shard_node(shard, node),
         }
     }
 
@@ -216,6 +278,7 @@ impl CertifierHandle {
                 c.recover_node(node)
             }
             CertifierHandle::Sharded(c) => c.recover_shard_node(shard, node),
+            CertifierHandle::Remote { colocated, .. } => colocated.recover_shard_node(shard, node),
         }
     }
 
@@ -240,6 +303,7 @@ impl CertifierHandle {
                 c.durable_entries(node)
             }
             CertifierHandle::Sharded(c) => c.shard_durable_entries(shard, node),
+            CertifierHandle::Remote { colocated, .. } => colocated.shard_durable_entries(shard, node),
         }
     }
 
@@ -249,6 +313,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.seal_checkpoint(),
             CertifierHandle::Sharded(c) => c.seal_checkpoint(),
+            CertifierHandle::Remote { colocated, .. } => colocated.seal_checkpoint(),
         }
     }
 
@@ -263,6 +328,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.truncate_below(watermark),
             CertifierHandle::Sharded(c) => c.truncate_below(watermark),
+            CertifierHandle::Remote { colocated, .. } => colocated.truncate_below(watermark),
         }
     }
 
@@ -273,6 +339,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.truncation_floor(),
             CertifierHandle::Sharded(c) => c.truncation_floor(),
+            CertifierHandle::Remote { service, .. } => service.truncation_floor(),
         }
     }
 
@@ -283,6 +350,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.checkpoint_version(),
             CertifierHandle::Sharded(c) => c.checkpoint_version(),
+            CertifierHandle::Remote { colocated, .. } => colocated.checkpoint_version(),
         }
     }
 
@@ -293,6 +361,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => c.log_len(),
             CertifierHandle::Sharded(c) => c.log_len(),
+            CertifierHandle::Remote { colocated, .. } => colocated.log_len(),
         }
     }
 
@@ -303,6 +372,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Sharded(c) => Some(c),
             CertifierHandle::Single(_) => None,
+            CertifierHandle::Remote { colocated, .. } => colocated.as_sharded(),
         }
     }
 
@@ -312,6 +382,7 @@ impl CertifierHandle {
         match self {
             CertifierHandle::Single(c) => Some(c),
             CertifierHandle::Sharded(_) => None,
+            CertifierHandle::Remote { colocated, .. } => colocated.as_single(),
         }
     }
 }
@@ -367,6 +438,72 @@ mod tests {
         }
         assert!(single.as_single().is_some() && single.as_sharded().is_none());
         assert!(sharded.as_sharded().is_some() && sharded.as_single().is_none());
+    }
+
+    /// A [`CertifierService`] that forwards to an in-process certifier while
+    /// counting the calls that crossed "the wire".
+    struct CountingService {
+        inner: Arc<Certifier>,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl CertifierService for CountingService {
+        fn certify(&self, request: &CertificationRequest) -> Result<CertificationResponse> {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.certify(request)
+        }
+        fn writesets_after(&self, since: Version) -> Vec<RemoteWriteSet> {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.writesets_after(since)
+        }
+        fn system_version(&self) -> Version {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.system_version()
+        }
+        fn is_available(&self) -> bool {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.is_available()
+        }
+        fn truncation_floor(&self) -> Version {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.truncation_floor()
+        }
+    }
+
+    #[test]
+    fn remote_routes_data_plane_to_the_service_and_control_plane_around_it() {
+        let certifier = Arc::new(Certifier::new(CertifierConfig::default()));
+        let service = Arc::new(CountingService {
+            inner: certifier.clone(),
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let handle = CertifierHandle::Remote {
+            service: service.clone(),
+            colocated: Box::new(CertifierHandle::Single(certifier)),
+        };
+
+        // Data plane: each of the five wire operations crosses the service.
+        commit(&handle, &[1]);
+        assert_eq!(handle.writesets_after(Version::ZERO).len(), 1);
+        assert!(handle.is_available());
+        assert_eq!(handle.truncation_floor(), Version::ZERO);
+        let data_calls = service.calls.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(data_calls >= 5, "expected >=5 wire calls, saw {data_calls}");
+
+        // Control plane: none of these may touch the wire.
+        assert_eq!(handle.stats().commits, 1);
+        assert_eq!(handle.shard_count(), 1);
+        assert_eq!(handle.log_len(), 1);
+        assert_eq!(handle.checkpoint_version(), Version::ZERO);
+        assert!(handle.as_single().is_some() && handle.as_sharded().is_none());
+        handle.crash_node(CertifierNodeId(1));
+        handle.recover_node(CertifierNodeId(1)).unwrap();
+        assert_eq!(
+            service.calls.load(std::sync::atomic::Ordering::Relaxed),
+            data_calls,
+            "control-plane operations must bypass the wire"
+        );
+        assert!(format!("{handle:?}").starts_with("Remote"));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod proxy;
 pub mod recovery;
 pub mod seen;
 
-pub use fanout::CertifierHandle;
+pub use fanout::{CertifierHandle, CertifierService};
 pub use proxy::{CommitOutcome, Proxy, ProxyConfig, ProxyStats, ProxyTransaction};
 pub use recovery::{catch_up, recover_base_or_api_replica, recover_mw_replica};
 pub use seen::SeenWriteSets;
