@@ -229,9 +229,18 @@ fn bench_events_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The shard sweep, run twice: `batch=on` (epoch-drained, pre-screened
+/// certification — the default) against `batch=off` (the serial
+/// one-writeset-at-a-time scan, i.e. the pre-batching baseline).  The
+/// batching PR's scoreboard compares the two per trace × shard count; its
+/// acceptance bar is a measurable win for `batch=on` at 4 shards on the
+/// allupdates trace.
 fn bench_sharded(c: &mut Criterion) {
     let mut group = c.benchmark_group("sharded_certification");
-    group.sample_size(12);
+    // The 4-thread batch runs on whatever cores the container grants (often
+    // one): per-sample times swing with scheduler timeslicing, so the sweep
+    // needs a large sample and the median (robust center) for comparisons.
+    group.sample_size(50);
     group.throughput(Throughput::Elements(BATCH));
     for (trace_name, trace, lag) in [
         ("allupdates", allupdates_trace(4096), DEEP_LAG),
@@ -240,17 +249,20 @@ fn bench_sharded(c: &mut Criterion) {
     ] {
         let trace = Arc::new(trace);
         for shards in [1usize, 2, 4] {
-            let certifier = Arc::new(ShardedCertifier::new(
-                ShardedCertifierConfig::with_shards(shards),
-            ));
-            let cursor = AtomicUsize::new(0);
-            group.bench_with_input(
-                BenchmarkId::new(trace_name, format!("shards={shards}")),
-                &shards,
-                |b, _| {
-                    b.iter(|| certify_batch(&certifier, &trace, &cursor, lag));
-                },
-            );
+            for batch in [true, false] {
+                let mut config = ShardedCertifierConfig::with_shards(shards);
+                config.base.batch = batch;
+                let certifier = Arc::new(ShardedCertifier::new(config));
+                let cursor = AtomicUsize::new(0);
+                let mode = if batch { "batch=on" } else { "batch=off" };
+                group.bench_with_input(
+                    BenchmarkId::new(trace_name, format!("shards={shards}/{mode}")),
+                    &shards,
+                    |b, _| {
+                        b.iter(|| certify_batch(&certifier, &trace, &cursor, lag));
+                    },
+                );
+            }
         }
     }
     group.finish();

@@ -1,0 +1,165 @@
+//! Leader–follower epoch batching for certification.
+//!
+//! Callers submit their request to an [`EpochQueue`] and block until a
+//! decision is available.  Whichever caller finds the leader slot free
+//! becomes the *epoch leader*: it drains everything queued so far (an
+//! *epoch*, in arrival order), runs the shared processing closure over the
+//! whole epoch — one lock acquisition, one log traversal, one grouped
+//! durable append — and fills each request's outcome slot.  The leader keeps
+//! draining until the queue is empty, so every queued request is decided by
+//! some epoch; followers wake when their slot fills, or grab leadership
+//! themselves after a short timeout if the previous leader quit first.
+//!
+//! The queue imposes **arrival order within an epoch**, which is what keeps
+//! batched certification decision-identical to the serial scan: processing
+//! an epoch `[a, b, c]` with each decision visible to its successors is
+//! indistinguishable from `a`, `b`, `c` arriving serially.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// How long a follower waits for its outcome before re-contending for
+/// leadership (covers the race where the previous leader drained its final
+/// epoch just before this request was enqueued).
+const FOLLOWER_RECHECK: Duration = Duration::from_millis(1);
+
+/// One request's outcome cell.
+pub struct Slot<O> {
+    outcome: Mutex<Option<O>>,
+    ready: Condvar,
+}
+
+impl<O> Slot<O> {
+    fn new() -> Self {
+        Slot {
+            outcome: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Delivers the outcome and wakes the submitting caller.
+    pub fn fill(&self, outcome: O) {
+        *self.outcome.lock() = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    fn take(&self) -> Option<O> {
+        self.outcome.lock().take()
+    }
+
+    fn wait(&self) -> Option<O> {
+        let mut guard = self.outcome.lock();
+        if guard.is_none() {
+            self.ready.wait_for(&mut guard, FOLLOWER_RECHECK);
+        }
+        guard.take()
+    }
+}
+
+/// A queue of pending requests drained in epochs by an elected leader.
+pub struct EpochQueue<R, O> {
+    pending: Mutex<VecDeque<(R, Arc<Slot<O>>)>>,
+    leader: Mutex<()>,
+}
+
+impl<R, O> Default for EpochQueue<R, O> {
+    fn default() -> Self {
+        EpochQueue::new()
+    }
+}
+
+impl<R, O> EpochQueue<R, O> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EpochQueue {
+            pending: Mutex::new(VecDeque::new()),
+            leader: Mutex::new(()),
+        }
+    }
+
+    /// Submits one request and blocks until its outcome is decided.
+    ///
+    /// `process` runs on whichever submitting thread holds leadership, once
+    /// per drained epoch, and must fill **every** slot it is handed (the
+    /// fairness contract: a leader decides for its followers).  Because the
+    /// submitting slot is enqueued *before* leadership is contended, the
+    /// drain-until-empty loop guarantees it is filled by the time leadership
+    /// is released.
+    pub fn submit(&self, request: R, process: impl Fn(Vec<(R, Arc<Slot<O>>)>)) -> O {
+        let slot = Arc::new(Slot::new());
+        self.pending.lock().push_back((request, Arc::clone(&slot)));
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            if let Some(_leadership) = self.leader.try_lock() {
+                loop {
+                    let epoch: Vec<(R, Arc<Slot<O>>)> = {
+                        let mut pending = self.pending.lock();
+                        pending.drain(..).collect()
+                    };
+                    if epoch.is_empty() {
+                        break;
+                    }
+                    process(epoch);
+                }
+            } else if let Some(outcome) = slot.wait() {
+                return outcome;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use super::*;
+
+    #[test]
+    fn single_submitter_leads_its_own_epoch() {
+        let queue: EpochQueue<u32, u32> = EpochQueue::new();
+        let epochs = AtomicUsize::new(0);
+        let out = queue.submit(7, |epoch| {
+            epochs.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(epoch.len(), 1);
+            for (request, slot) in epoch {
+                slot.fill(request * 2);
+            }
+        });
+        assert_eq!(out, 14);
+        assert_eq!(epochs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_their_own_outcome() {
+        let queue: Arc<EpochQueue<u64, u64>> = Arc::new(EpochQueue::new());
+        let max_epoch = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for worker in 0..8u64 {
+                let queue = Arc::clone(&queue);
+                let max_epoch = Arc::clone(&max_epoch);
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let request = worker * 1000 + i;
+                        let out = queue.submit(request, |epoch| {
+                            max_epoch.fetch_max(epoch.len(), Ordering::SeqCst);
+                            for (r, slot) in epoch {
+                                slot.fill(r + 1);
+                            }
+                        });
+                        assert_eq!(out, request + 1, "outcomes must not cross requests");
+                    }
+                });
+            }
+        });
+        // Under contention at least one epoch should have batched more than
+        // one request (not asserted strictly — scheduling-dependent — but
+        // recorded so a degenerate run is visible in test output).
+        eprintln!("max epoch size: {}", max_epoch.load(Ordering::SeqCst));
+    }
+}

@@ -28,6 +28,7 @@ use tashkent_storage::checkpoint::CheckpointStore;
 use tashkent_storage::disk::DiskConfig;
 use tashkent_storage::wal::WalRecord;
 
+use crate::batch::{EpochQueue, Slot};
 use crate::log::CertifierLog;
 use crate::paxos::{CertifierNodeId, ReplicatedLog, ReplicatedLogStats};
 
@@ -102,6 +103,11 @@ pub struct CertifierConfig {
     /// Cluster metrics registry this certifier reports into.  Standalone
     /// certifiers default to a disabled (no-op) registry.
     pub metrics: Arc<MetricsRegistry>,
+    /// Whether certification drains batched epochs with a footprint
+    /// pre-screen (the default) or runs the serial one-writeset-at-a-time
+    /// scan.  Decisions are identical either way; the flag exists so the
+    /// benches can compare the two and so a regression can be bisected.
+    pub batch: bool,
 }
 
 impl Default for CertifierConfig {
@@ -113,6 +119,7 @@ impl Default for CertifierConfig {
             forced_abort_rate: 0.0,
             seed: 0x7A5B_0001,
             metrics: Arc::new(MetricsRegistry::disabled()),
+            batch: true,
         }
     }
 }
@@ -213,6 +220,32 @@ struct CertifierInner {
     forced_aborts: u64,
 }
 
+/// A certification decision stripped of its remote-writeset stream: what an
+/// epoch leader hands back to each submitting caller, which then assembles
+/// its own [`CertificationResponse`] (the remote-stream gather — the
+/// per-replica part of the response — stays on the caller's thread).
+#[derive(Debug, Clone)]
+pub(crate) struct Decided {
+    pub(crate) decision: CertificationDecision,
+    pub(crate) commit_version: Option<Version>,
+    /// The system version at decision time; for commits this equals the
+    /// commit version, for aborts the version the log stood at.
+    pub(crate) system_version: Version,
+}
+
+/// A certify waiting in an epoch: the slot its decision resolves through.
+pub(crate) type DecisionSlot = Arc<Slot<Result<Decided>>>;
+
+impl Decided {
+    /// The upper bound of the remote stream owed to the requester: one below
+    /// its own commit for commits (the certifier never resends a replica its
+    /// own writeset), the decision-time system version for aborts.
+    pub(crate) fn remote_bound(&self) -> Version {
+        self.commit_version
+            .map_or(self.system_version, |commit| commit.prev())
+    }
+}
+
 /// The certifier component shared by every replica proxy in a cluster.
 pub struct Certifier {
     inner: Mutex<CertifierInner>,
@@ -220,6 +253,8 @@ pub struct Certifier {
     checkpoints: CheckpointStore,
     forced_abort_rate: f64,
     metrics: Arc<MetricsRegistry>,
+    /// Present when batched certification is enabled (the default).
+    batcher: Option<EpochQueue<CertificationRequest, Result<Decided>>>,
 }
 
 impl std::fmt::Debug for Certifier {
@@ -247,6 +282,7 @@ impl Certifier {
             checkpoints: CheckpointStore::new(),
             forced_abort_rate: config.forced_abort_rate.clamp(0.0, 1.0),
             metrics: config.metrics,
+            batcher: config.batch.then(EpochQueue::new),
         }
     }
 
@@ -440,6 +476,27 @@ impl Certifier {
         }
         // Inbox depth: requests currently inside certification.
         let _inflight = self.metrics.gauge_guard(GaugeId::CertifierInflight);
+        if let Some(batcher) = &self.batcher {
+            let decided = batcher.submit(request.clone(), |epoch| self.process_epoch(epoch))?;
+            // The remote-stream gather runs on the submitting thread, bounded
+            // by the decision-time version so the response is identical to
+            // the serial scan's (which gathers under the decision lock).
+            let remote_writesets =
+                self.remotes_between(request, decided.remote_bound())?;
+            return Ok(CertificationResponse {
+                decision: decided.decision,
+                commit_version: decided.commit_version,
+                remote_writesets,
+                system_version: decided.system_version,
+            });
+        }
+        self.certify_serial(request)
+    }
+
+    /// The serial (pre-batching) certification path, kept as the `batch:
+    /// false` baseline and as the reference the equivalence tests compare
+    /// against.
+    fn certify_serial(&self, request: &CertificationRequest) -> Result<CertificationResponse> {
         let mut inner = self.inner.lock();
         let floor = inner.log.floor();
         if request.replica_version < floor {
@@ -578,6 +635,201 @@ impl Certifier {
             remote_writesets,
             system_version,
         })
+    }
+
+    /// Certifies one drained epoch of pending requests, in arrival order,
+    /// under a single log lock — the epoch leader's body.
+    ///
+    /// Decision identity with [`Certifier::certify_serial`] holds because
+    /// each request sees every earlier request's append before it is checked,
+    /// exactly as if they had arrived serially; the forced-abort RNG is drawn
+    /// under the same guard (only for requests that survived the floor and
+    /// conflict checks), keeping the draw sequence in lockstep with the
+    /// serial path.  The per-epoch wins are one lock acquisition, a footprint
+    /// pre-screen that lets provably conflict-free writesets skip the log
+    /// scan, and one grouped durable append (one majority fsync per epoch).
+    fn process_epoch(&self, epoch: Vec<(CertificationRequest, DecisionSlot)>) {
+        let epoch_len = epoch.len() as u64;
+        let mut commits: Vec<(Version, Arc<WriteSet>, DecisionSlot)> =
+            Vec::with_capacity(epoch.len());
+        let mut inner = self.inner.lock();
+        for (request, slot) in epoch {
+            let floor = inner.log.floor();
+            if request.replica_version < floor {
+                slot.fill(Err(Error::Unavailable(format!(
+                    "replica {} at version {} is below the certifier truncation floor {floor}; \
+                     state transfer required",
+                    request.replica.value(),
+                    request.replica_version
+                ))));
+                continue;
+            }
+            self.metrics.incr(CounterId::CertifyRequests);
+            inner.requests += 1;
+
+            if request.start_version < floor {
+                inner.conflict_aborts += 1;
+                self.metrics.incr(CounterId::CertifyAborts);
+                self.metrics
+                    .emit(Event::new(Component::Certifier, EventKind::CertifyAbort).shard(0));
+                slot.fill(Ok(Decided {
+                    decision: CertificationDecision::Abort {
+                        reason: format!(
+                            "snapshot {} below truncation floor {floor}",
+                            request.start_version
+                        ),
+                        forced: false,
+                    },
+                    commit_version: None,
+                    system_version: inner.log.system_version(),
+                }));
+                continue;
+            }
+
+            // Pre-screen: if no bucket covering the writeset's footprint has
+            // committed past the snapshot, the scan provably finds nothing.
+            let conflict = if inner
+                .log
+                .prescreen_clear(&request.writeset, request.start_version)
+            {
+                self.metrics.incr(CounterId::PrescreenHits);
+                None
+            } else {
+                self.metrics.incr(CounterId::PrescreenMisses);
+                inner
+                    .log
+                    .conflict_after(&request.writeset, request.start_version)
+            };
+            if let Some(conflict_version) = conflict {
+                inner.conflict_aborts += 1;
+                self.metrics.incr(CounterId::CertifyAborts);
+                self.metrics
+                    .emit(Event::new(Component::Certifier, EventKind::CertifyAbort).shard(0));
+                slot.fill(Ok(Decided {
+                    decision: CertificationDecision::Abort {
+                        reason: format!("write-write conflict with {conflict_version}"),
+                        forced: false,
+                    },
+                    commit_version: None,
+                    system_version: inner.log.system_version(),
+                }));
+                continue;
+            }
+
+            if self.forced_abort_rate > 0.0 && inner.rng.gen::<f64>() < self.forced_abort_rate {
+                inner.forced_aborts += 1;
+                self.metrics.incr(CounterId::CertifyAborts);
+                self.metrics
+                    .emit(Event::new(Component::Certifier, EventKind::CertifyAbort).shard(0));
+                slot.fill(Ok(Decided {
+                    decision: CertificationDecision::Abort {
+                        reason: "forced abort (experiment)".into(),
+                        forced: true,
+                    },
+                    commit_version: None,
+                    system_version: inner.log.system_version(),
+                }));
+                continue;
+            }
+
+            let writeset = Arc::new(request.writeset);
+            let commit_version = inner
+                .log
+                .append_shared(Arc::clone(&writeset), request.start_version);
+            inner.commits += 1;
+            // Commit slots are filled only after the grouped durable append:
+            // the decision is never announced before it is durable.
+            commits.push((commit_version, writeset, slot));
+        }
+        drop(inner);
+
+        self.metrics.add(CounterId::CertifyBatchSize, epoch_len);
+        self.metrics.emit(
+            Event::new(Component::Certifier, EventKind::CertifyBatch)
+                .version(epoch_len)
+                .shard(0),
+        );
+
+        if commits.is_empty() {
+            return;
+        }
+        let group: Vec<(Version, Arc<WriteSet>)> = commits
+            .iter()
+            .map(|(version, writeset, _)| (*version, Arc::clone(writeset)))
+            .collect();
+        let durable_started = Instant::now();
+        let appended = self.replicated.append_group(&group);
+        if appended.is_ok() && self.metrics.is_enabled() {
+            self.metrics
+                .record_stage(Stage::Durable, durable_started.elapsed());
+        }
+        for (commit_version, _, slot) in commits {
+            match &appended {
+                Ok(()) => {
+                    if self.metrics.is_enabled() {
+                        self.metrics.incr(CounterId::DurableAppends);
+                        self.metrics.incr(CounterId::CertifyCommits);
+                        self.metrics.record_shard_commit(0);
+                        self.metrics.emit(
+                            Event::new(Component::Certifier, EventKind::CertifyCommit)
+                                .version(commit_version.0)
+                                .shard(0),
+                        );
+                        self.metrics.emit(
+                            Event::new(Component::Certifier, EventKind::DurableAppend)
+                                .version(commit_version.0)
+                                .shard(0),
+                        );
+                    }
+                    slot.fill(Ok(Decided {
+                        decision: CertificationDecision::Commit,
+                        commit_version: Some(commit_version),
+                        // At the instant this request committed serially the
+                        // system stood exactly at its commit version.
+                        system_version: commit_version,
+                    }));
+                }
+                Err(error) => slot.fill(Err(error.clone())),
+            }
+        }
+    }
+
+    /// Gathers the remote writesets owed to `request`'s replica, bounded
+    /// above by `up_to` (the decision-time version): the batched path's
+    /// waiter-side counterpart of the serial path's under-lock gather.
+    fn remotes_between(
+        &self,
+        request: &CertificationRequest,
+        up_to: Version,
+    ) -> Result<Vec<RemoteWriteSet>> {
+        let mut inner = self.inner.lock();
+        if request.replica_version < inner.log.floor() {
+            // A concurrent truncation raced past the replica's version
+            // between decision and gather: the suffix is no longer gap-free.
+            return Err(Error::Unavailable(format!(
+                "replica {} at version {} is below the certifier truncation floor {}; \
+                 state transfer required",
+                request.replica.value(),
+                request.replica_version,
+                inner.log.floor()
+            )));
+        }
+        let pending = inner.log.entries_after(request.replica_version);
+        let mut remote_writesets = Vec::with_capacity(pending.len());
+        for (commit_version, writeset) in pending {
+            if commit_version > up_to {
+                break;
+            }
+            let conflict_free_to = inner
+                .log
+                .conflict_free_back_to(commit_version, request.replica_version);
+            remote_writesets.push(RemoteWriteSet {
+                commit_version,
+                writeset,
+                conflict_free_to,
+            });
+        }
+        Ok(remote_writesets)
     }
 
     /// Returns the remote writesets committed after `since`, used by the

@@ -22,6 +22,10 @@
 //!
 //! Modules:
 //!
+//! * [`batch`] — the leader–follower epoch queue behind batched
+//!   certification: concurrent requests are drained in epochs and certified
+//!   in one pass (one lock acquisition, one log traversal, one grouped
+//!   durable append), with decisions identical to the serial scan.
 //! * [`log`] — the in-memory certified-writeset log with cached footprints,
 //!   suffix conflict checks and the extended ("how far back is this writeset
 //!   conflict-free") queries needed by Tashkent-API.
@@ -36,11 +40,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod certifier;
 pub mod log;
 pub mod paxos;
 pub mod sharded;
 
+pub use batch::{EpochQueue, Slot};
 pub use certifier::{
     CertificationDecision, CertificationRequest, CertificationResponse, Certifier, CertifierConfig,
     CertifierStats, RemoteWriteSet,

@@ -16,7 +16,15 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use tashkent_common::{RowKey, TableId, Version, WriteSet};
+use tashkent_common::{footprint_hash, RowKey, TableId, Version, WriteSet};
+
+/// Number of buckets in the pre-screen footprint index.
+///
+/// Each bucket holds the newest commit version whose writeset touched any
+/// `(table, key)` pair hashing into it.  4096 buckets keep the index at one
+/// cache-friendly 32 KiB array per shard while holding the collision
+/// (false-miss) rate low for conflict windows of a few thousand rows.
+const PRESCREEN_BUCKETS: usize = 4096;
 
 /// One entry of the certified log.
 ///
@@ -52,7 +60,7 @@ impl LogEntry {
 }
 
 /// The in-memory certified-writeset log.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CertifierLog {
     entries: Vec<LogEntry>,
     /// Truncation floor: every entry at or below this version has been
@@ -63,6 +71,23 @@ pub struct CertifierLog {
     /// conservatively aborted, because the entries needed to certify it are
     /// gone.
     floor: Version,
+    /// Pre-screen footprint index over the active conflict window: bucket
+    /// `footprint_hash(table, key) % PRESCREEN_BUCKETS` holds the newest
+    /// commit version that touched any pair hashing there.  A writeset all
+    /// of whose buckets are at or below its snapshot provably intersects
+    /// nothing in the suffix and may skip the scan (collisions only cause
+    /// spurious scans, never missed conflicts).
+    prescreen: Vec<Version>,
+}
+
+impl Default for CertifierLog {
+    fn default() -> Self {
+        CertifierLog {
+            entries: Vec::new(),
+            floor: Version::ZERO,
+            prescreen: vec![Version::ZERO; PRESCREEN_BUCKETS],
+        }
+    }
 }
 
 impl CertifierLog {
@@ -105,6 +130,39 @@ impl CertifierLog {
         self.entries.iter().map(|e| e.writeset.encoded_len()).sum()
     }
 
+    /// Pre-screens `writeset` against the footprint index: `true` means the
+    /// writeset **provably** intersects no entry committed after
+    /// `start_version`, so [`CertifierLog::conflict_after`] would return
+    /// `None` and the scan can be skipped.  `false` means some bucket has
+    /// seen a newer commit — possibly a hash collision — and the full scan
+    /// must decide.
+    ///
+    /// Soundness: every append bumps the bucket of each touched pair to the
+    /// entry's commit version, so a bucket always holds an upper bound over
+    /// the commit versions of the entries it covers.  If every bucket of
+    /// `writeset` is at or below `start_version`, then every logged entry
+    /// sharing an actual pair committed at or below `start_version` — i.e.
+    /// outside the certification suffix.  Buckets may only over-approximate
+    /// (hash collisions, rebuilt-after-truncation windows), which costs a
+    /// spurious scan, never a missed conflict.
+    #[must_use]
+    pub fn prescreen_clear(&self, writeset: &WriteSet, start_version: Version) -> bool {
+        writeset.items().iter().all(|item| {
+            let bucket = (footprint_hash(item.table, &item.key) as usize) % PRESCREEN_BUCKETS;
+            self.prescreen[bucket] <= start_version
+        })
+    }
+
+    /// Records an entry's footprint in the pre-screen index.
+    fn index_footprint(&mut self, commit_version: Version, footprint: &HashSet<(TableId, RowKey)>) {
+        for (table, key) in footprint {
+            let bucket = (footprint_hash(*table, key) as usize) % PRESCREEN_BUCKETS;
+            if self.prescreen[bucket] < commit_version {
+                self.prescreen[bucket] = commit_version;
+            }
+        }
+    }
+
     /// Tests whether `writeset` conflicts with any entry committed after
     /// `start_version` — the core certification check.
     ///
@@ -129,12 +187,18 @@ impl CertifierLog {
     /// checked the writeset, seeding the memoised extended-certification
     /// bound.
     pub fn append(&mut self, writeset: WriteSet, start_version: Version) -> Version {
+        self.append_shared(Arc::new(writeset), start_version)
+    }
+
+    /// [`CertifierLog::append`] with an already-shared writeset, so batched
+    /// certification can log the entry and keep the same `Arc` for the
+    /// epoch's grouped durable append without a deep clone.
+    pub fn append_shared(&mut self, writeset: Arc<WriteSet>, start_version: Version) -> Version {
         let commit_version = self.system_version().next();
-        self.entries.push(LogEntry::new(
-            commit_version,
-            Arc::new(writeset),
-            start_version,
-        ));
+        let entry = LogEntry::new(commit_version, writeset, start_version);
+        let footprint = Arc::clone(&entry.footprint);
+        self.entries.push(entry);
+        self.index_footprint(commit_version, &footprint);
         commit_version
     }
 
@@ -163,6 +227,7 @@ impl CertifierLog {
         checked_down_to: Version,
     ) {
         debug_assert!(commit_version > self.system_version());
+        self.index_footprint(commit_version, &footprint);
         self.entries.push(LogEntry {
             commit_version,
             writeset,
@@ -253,7 +318,24 @@ impl CertifierLog {
         let before = self.entries.len();
         self.entries.retain(|e| e.commit_version > bound);
         self.floor = self.floor.max(bound);
-        before - self.entries.len()
+        let dropped = before - self.entries.len();
+        if dropped > 0 {
+            // Rebuild the pre-screen index over the retained window.  Leaving
+            // trimmed versions in place would stay sound (valid snapshots are
+            // at or above the floor) but would slowly degrade the hit rate as
+            // old buckets shadow fresh snapshots.
+            self.prescreen.iter_mut().for_each(|v| *v = Version::ZERO);
+            type Footprint = Arc<HashSet<(TableId, RowKey)>>;
+            let rebuilt: Vec<(Version, Footprint)> = self
+                .entries
+                .iter()
+                .map(|e| (e.commit_version, Arc::clone(&e.footprint)))
+                .collect();
+            for (commit_version, footprint) in rebuilt {
+                self.index_footprint(commit_version, &footprint);
+            }
+        }
+        dropped
     }
 
     /// Restores the truncation floor when rebuilding a log from a sealed

@@ -259,6 +259,64 @@ impl ReplicatedLog {
         }
     }
 
+    /// Appends one certified *epoch* of writesets, returning once a majority
+    /// of nodes has all of them durable.
+    ///
+    /// This is the batched-certification counterpart of
+    /// [`ReplicatedLog::append`]: the epoch's records are staged on each
+    /// node's WAL and flushed with a **single** fsync per node, so the whole
+    /// epoch pays one majority round of disk latency instead of one per
+    /// writeset.  An empty epoch is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unavailable`] if fewer than a majority of nodes are
+    /// up or acknowledge the append.
+    pub fn append_group(&self, entries: &[(Version, Arc<WriteSet>)]) -> Result<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let _membership = self.membership.read();
+        let majority = self.majority();
+        if self.up_count() < majority {
+            return Err(Error::Unavailable(format!(
+                "only {} of {} certifier nodes up, majority {} required",
+                self.up_count(),
+                self.nodes.len(),
+                majority
+            )));
+        }
+        *self.entries.lock() += entries.len() as u64;
+        let records: Vec<WalRecord> = entries
+            .iter()
+            .map(|(version, writeset)| WalRecord::Commit {
+                version: *version,
+                writeset: (**writeset).clone(),
+            })
+            .collect();
+        let mut acks = 0usize;
+        for node in &self.nodes {
+            if !node.is_up() {
+                continue;
+            }
+            let mut last_lsn = 0u64;
+            for record in &records {
+                last_lsn = node.wal.append(record);
+            }
+            if self.durable {
+                node.wal.sync_to(last_lsn);
+            }
+            acks += 1;
+        }
+        if acks >= majority {
+            Ok(())
+        } else {
+            Err(Error::Unavailable(format!(
+                "only {acks} certifier nodes acknowledged, majority {majority} required"
+            )))
+        }
+    }
+
     /// Crashes a node.  If it was the leader, a new leader is elected among
     /// the remaining up nodes.
     pub fn crash_node(&self, id: CertifierNodeId) {

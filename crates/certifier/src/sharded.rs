@@ -37,6 +37,8 @@
 //! [`merge_shard_streams`] exploits this to reassemble a gap-free global
 //! stream from per-shard streams (the proxy-side fan-in).
 
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -45,15 +47,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tashkent_common::metrics::{CounterId, GaugeId, Stage};
 use tashkent_common::{
-    Component, Error, Event, EventKind, MetricsRegistry, Result, ShardId, ShardMap, Version,
-    WriteSet,
+    Component, Error, Event, EventKind, MetricsRegistry, Result, RowKey, ShardId, ShardMap,
+    TableId, Version, WriteSet,
 };
 
 use tashkent_storage::checkpoint::CheckpointStore;
 
+use crate::batch::{EpochQueue, Slot};
 use crate::certifier::{
     encode_checkpoint_payload, CertificationDecision, CertificationRequest, CertificationResponse,
-    CertifierConfig, CertifierStats, RemoteWriteSet,
+    CertifierConfig, CertifierStats, Decided, DecisionSlot, RemoteWriteSet,
 };
 use crate::log::CertifierLog;
 use crate::paxos::{CertifierNodeId, ReplicatedLog, ReplicatedLogStats};
@@ -210,6 +213,19 @@ pub struct ShardedCertifier {
     sequencer: Mutex<Sequencer>,
     forced_abort_rate: f64,
     metrics: Arc<MetricsRegistry>,
+    /// One epoch queue per shard when batched certification is enabled:
+    /// single-shard writesets (the common case) are drained and certified in
+    /// per-shard epochs, amortizing the shard-log lock and the majority
+    /// fsync.  Multi-shard writesets always take the direct ordered
+    /// two-phase path.
+    batchers: Option<Vec<EpochQueue<CertificationRequest, Result<Decided>>>>,
+    /// Cache of [`ShardedCertifier::truncation_floor`], refreshed whenever a
+    /// truncation moves a shard floor.  Certification reads this instead of
+    /// locking every shard log on every request; floors only move under
+    /// [`ShardedCertifier::truncate_below`], so the cache is exact between
+    /// truncations (and during one it lags exactly like the locked read
+    /// did — the floor sample always preceded taking the shard guards).
+    floor_cache: AtomicU64,
 }
 
 impl std::fmt::Debug for ShardedCertifier {
@@ -258,6 +274,11 @@ impl ShardedCertifier {
             }),
             forced_abort_rate: config.base.forced_abort_rate.clamp(0.0, 1.0),
             metrics: config.base.metrics,
+            batchers: config
+                .base
+                .batch
+                .then(|| (0..config.shards).map(|_| EpochQueue::new()).collect()),
+            floor_cache: AtomicU64::new(0),
         }
     }
 
@@ -416,7 +437,7 @@ impl ShardedCertifier {
         // The merged remote stream spans every shard: if any shard has
         // trimmed past the replica's version, the gap-free suffix this
         // response promises cannot be assembled.  State transfer instead.
-        let floor = self.truncation_floor();
+        let floor = Version(self.floor_cache.load(Ordering::Acquire));
         if request.replica_version < floor {
             return Err(Error::Unavailable(format!(
                 "replica {} at version {} is below the certifier truncation floor {floor}; \
@@ -430,6 +451,32 @@ impl ShardedCertifier {
         // shards — per-shard depth would need per-shard guards).
         let _inflight = self.metrics.gauge_guard(GaugeId::CertifierInflight);
         self.metrics.incr(CounterId::CertifyRequests);
+
+        // Single-shard writesets ride the shard's epoch queue when batching
+        // is enabled: an epoch leader certifies a whole drained batch under
+        // one shard-log lock and one grouped majority fsync.  Multi-shard
+        // writesets keep the direct ordered two-phase certify below (they
+        // must hold several shard locks at once, which an epoch leader —
+        // holding exactly one — cannot interleave with).
+        if owning.len() == 1 {
+            if let Some(batchers) = &self.batchers {
+                let shard = owning[0];
+                let decided = batchers[shard.index()]
+                    .submit(request.clone(), |epoch| self.process_shard_epoch(shard, epoch))?;
+                // The remote-stream fan-in runs on the submitting thread,
+                // bounded by the decision-time version (one below our own
+                // commit, or the abort-time system version) — identical to
+                // the direct path's bound.
+                let bound = decided.remote_bound();
+                return Ok(CertificationResponse {
+                    decision: decided.decision,
+                    commit_version: decided.commit_version,
+                    remote_writesets: self
+                        .remote_writesets_between(request.replica_version, bound),
+                    system_version: decided.system_version,
+                });
+            }
+        }
 
         // Phase 1 (acquire): lock every owning shard in ascending shard-id
         // order.  `ShardMap::shards_of` returns them sorted, which is the
@@ -590,6 +637,377 @@ impl ShardedCertifier {
         })
     }
 
+    /// Certifies one drained epoch of single-shard requests owned by
+    /// `shard`, in arrival order — the per-shard epoch leader's body.
+    ///
+    /// The epoch's wins: one shard-lock acquisition, one global-sequencer
+    /// acquisition (on the two-phase fast path), a footprint pre-screen that
+    /// lets provably conflict-free writesets skip the suffix scan, and one
+    /// grouped majority fsync on the shard's durable log.
+    fn process_shard_epoch(
+        &self,
+        shard: ShardId,
+        epoch: Vec<(CertificationRequest, DecisionSlot)>,
+    ) {
+        // The forced-abort experiment draws from the sequencer RNG per
+        // surviving request, and a forced abort removes its entry from the
+        // would-be log — so the two-phase plan (which conflict-checks
+        // against *tentatively* accepted epoch entries before any version is
+        // assigned) would be wrong: a later request could abort on a
+        // neighbour that the draw then kills.  Keep the per-request
+        // sequencer lockstep whenever draws can happen.
+        if self.forced_abort_rate > 0.0 {
+            self.process_shard_epoch_lockstep(shard, epoch);
+            return;
+        }
+        self.process_shard_epoch_two_phase(shard, epoch);
+    }
+
+    /// Lockstep epoch body: the sequencer is taken once per request, exactly
+    /// as on the direct path, so the forced-abort RNG draw sequence is
+    /// identical to a serial interleaving.  Decision identity holds because
+    /// each request sees every earlier request's append before it is
+    /// checked.
+    fn process_shard_epoch_lockstep(
+        &self,
+        shard: ShardId,
+        epoch: Vec<(CertificationRequest, DecisionSlot)>,
+    ) {
+        let epoch_len = epoch.len() as u64;
+        let mut commits: Vec<(Version, Arc<WriteSet>, DecisionSlot)> =
+            Vec::with_capacity(epoch.len());
+        let mut log = self.shards[shard.index()].log.lock();
+        for (request, slot) in epoch {
+            let floored = request.start_version < log.floor();
+            // Pre-screen: if no bucket covering the writeset's footprint has
+            // committed past the snapshot, the suffix scan provably finds
+            // nothing and is skipped.
+            let conflict = if floored {
+                None
+            } else if log.prescreen_clear(&request.writeset, request.start_version) {
+                self.metrics.incr(CounterId::PrescreenHits);
+                None
+            } else {
+                self.metrics.incr(CounterId::PrescreenMisses);
+                log.conflict_after(&request.writeset, request.start_version)
+            };
+            let commit_material = if conflict.is_none() && !floored {
+                let writeset = Arc::new(request.writeset);
+                let footprint = Arc::new(writeset.footprint());
+                Some((writeset, footprint))
+            } else {
+                None
+            };
+
+            // The sequencer stays the innermost lock, taken once per request
+            // exactly as on the direct path.
+            let mut sequencer = self.sequencer.lock();
+            sequencer.requests += 1;
+            let decision = if floored {
+                sequencer.conflict_aborts += 1;
+                Some(CertificationDecision::Abort {
+                    reason: format!(
+                        "snapshot {} below truncation floor",
+                        request.start_version
+                    ),
+                    forced: false,
+                })
+            } else if let Some(conflict_version) = conflict {
+                sequencer.conflict_aborts += 1;
+                Some(CertificationDecision::Abort {
+                    reason: format!("write-write conflict with {conflict_version}"),
+                    forced: false,
+                })
+            } else if self.forced_abort_rate > 0.0
+                && sequencer.rng.gen::<f64>() < self.forced_abort_rate
+            {
+                sequencer.forced_aborts += 1;
+                Some(CertificationDecision::Abort {
+                    reason: "forced abort (experiment)".into(),
+                    forced: true,
+                })
+            } else {
+                None
+            };
+            if let Some(decision) = decision {
+                let system_version = sequencer.version;
+                drop(sequencer);
+                self.metrics.incr(CounterId::CertifyAborts);
+                self.metrics.emit(
+                    Event::new(Component::Certifier, EventKind::CertifyAbort)
+                        .shard(shard.index()),
+                );
+                slot.fill(Ok(Decided {
+                    decision,
+                    commit_version: None,
+                    system_version,
+                }));
+                continue;
+            }
+
+            // Version advance and the shard append stay inside one sequencer
+            // critical section while the shard lock is held — the invariant
+            // the stream merge relies on.
+            let commit_version = sequencer.version.next();
+            sequencer.version = commit_version;
+            sequencer.commits += 1;
+            let (writeset, footprint) = commit_material.expect("commit implies no conflict");
+            log.append_at_with_footprint(
+                commit_version,
+                Arc::clone(&writeset),
+                footprint,
+                request.start_version,
+            );
+            drop(sequencer);
+            // Commit slots are filled only after the grouped durable append:
+            // the decision is never announced before it is durable.
+            commits.push((commit_version, writeset, slot));
+        }
+        drop(log);
+
+        self.metrics.add(CounterId::CertifyBatchSize, epoch_len);
+        self.metrics.emit(
+            Event::new(Component::Certifier, EventKind::CertifyBatch)
+                .version(epoch_len)
+                .shard(shard.index()),
+        );
+
+        if commits.is_empty() {
+            return;
+        }
+        let group: Vec<(Version, Arc<WriteSet>)> = commits
+            .iter()
+            .map(|(version, writeset, _)| (*version, Arc::clone(writeset)))
+            .collect();
+        let durable_started = Instant::now();
+        let appended = self.shards[shard.index()].replicated.append_group(&group);
+        if appended.is_ok() && self.metrics.is_enabled() {
+            self.metrics
+                .record_stage(Stage::Durable, durable_started.elapsed());
+        }
+        for (commit_version, _, slot) in commits {
+            match &appended {
+                Ok(()) => {
+                    if self.metrics.is_enabled() {
+                        self.metrics.incr(CounterId::DurableAppends);
+                        self.metrics.incr(CounterId::CertifyCommits);
+                        self.metrics.record_shard_commit(shard.index());
+                        self.metrics.emit(
+                            Event::new(Component::Certifier, EventKind::CertifyCommit)
+                                .version(commit_version.0)
+                                .shard(shard.index()),
+                        );
+                        self.metrics.emit(
+                            Event::new(Component::Certifier, EventKind::DurableAppend)
+                                .version(commit_version.0)
+                                .shard(shard.index()),
+                        );
+                    }
+                    slot.fill(Ok(Decided {
+                        decision: CertificationDecision::Commit,
+                        commit_version: Some(commit_version),
+                        // At the instant this request committed in the
+                        // serial-equivalent order the system stood exactly
+                        // at its commit version.
+                        system_version: commit_version,
+                    }));
+                }
+                Err(error) => slot.fill(Err(error.clone())),
+            }
+        }
+    }
+
+    /// Two-phase epoch body (the `forced_abort_rate == 0` fast path):
+    ///
+    /// * **Phase 1** (shard lock only): per request, in arrival order,
+    ///   decide a verdict — conservative floor abort, conflict against the
+    ///   shard log (pre-screened), conflict against an *earlier accepted
+    ///   epoch entry*, or clean.  Without forced aborts a clean verdict is
+    ///   final, so the intra-epoch check against tentatively accepted
+    ///   entries is sound — and complete, because an accepted entry's commit
+    ///   version always exceeds any well-formed snapshot (snapshots never
+    ///   run ahead of the system version the sequencer has published).
+    /// * **Phase 2** (sequencer, taken **once**): walk the verdicts in
+    ///   arrival order, assigning dense versions to the clean entries and
+    ///   appending them to the shard log inside the single critical section
+    ///   — preserving the stream-merge invariant — while aborts capture the
+    ///   system version at their position.
+    ///
+    /// The decisions are exactly those of the lockstep body: phase 1 sees
+    /// the same conflicts (log conflicts are older than every epoch commit,
+    /// so "first conflict" agrees), and phase 2 assigns the same versions a
+    /// per-request interleaving in arrival order would.  What changes is the
+    /// cost: one sequencer acquisition per epoch instead of per request.
+    fn process_shard_epoch_two_phase(
+        &self,
+        shard: ShardId,
+        epoch: Vec<(CertificationRequest, DecisionSlot)>,
+    ) {
+        enum Verdict {
+            /// Abort whose reason is fully known in phase 1 (below-floor or
+            /// shard-log conflict).
+            Abort(CertificationDecision),
+            /// Conflicts with the accepted epoch entry at this index; the
+            /// reason needs that entry's commit version, assigned in
+            /// phase 2.
+            EpochConflict(usize),
+            /// Accepted: commits as `accepted[index]`.
+            Clean(usize),
+        }
+
+        let epoch_len = epoch.len() as u64;
+        type Material = (Arc<WriteSet>, Arc<HashSet<(TableId, RowKey)>>, Version);
+        let mut accepted: Vec<Material> = Vec::with_capacity(epoch.len());
+        let mut staged: Vec<(Verdict, Arc<Slot<Result<Decided>>>)> =
+            Vec::with_capacity(epoch.len());
+
+        let mut log = self.shards[shard.index()].log.lock();
+        for (request, slot) in epoch {
+            let verdict = if request.start_version < log.floor() {
+                Verdict::Abort(CertificationDecision::Abort {
+                    reason: format!(
+                        "snapshot {} below truncation floor",
+                        request.start_version
+                    ),
+                    forced: false,
+                })
+            } else {
+                let log_conflict = if log
+                    .prescreen_clear(&request.writeset, request.start_version)
+                {
+                    self.metrics.incr(CounterId::PrescreenHits);
+                    None
+                } else {
+                    self.metrics.incr(CounterId::PrescreenMisses);
+                    log.conflict_after(&request.writeset, request.start_version)
+                };
+                if let Some(conflict_version) = log_conflict {
+                    Verdict::Abort(CertificationDecision::Abort {
+                        reason: format!("write-write conflict with {conflict_version}"),
+                        forced: false,
+                    })
+                } else if let Some(index) = accepted.iter().position(|(_, footprint, _)| {
+                    request.writeset.conflicts_with_footprint(footprint)
+                }) {
+                    Verdict::EpochConflict(index)
+                } else {
+                    let writeset = Arc::new(request.writeset);
+                    let footprint = Arc::new(writeset.footprint());
+                    accepted.push((writeset, footprint, request.start_version));
+                    Verdict::Clean(accepted.len() - 1)
+                }
+            };
+            staged.push((verdict, slot));
+        }
+
+        // Phase 2: one sequencer critical section for the whole epoch.
+        // `commit_versions[j]` is always assigned before any
+        // `EpochConflict(j)` reads it, because `accepted[j]` precedes the
+        // conflicting request in arrival order.
+        let mut commit_versions: Vec<Version> = Vec::with_capacity(accepted.len());
+        let mut commits: Vec<(Version, Arc<WriteSet>, DecisionSlot)> =
+            Vec::with_capacity(accepted.len());
+        let mut aborts: Vec<(CertificationDecision, Version, DecisionSlot)> =
+            Vec::new();
+        let mut sequencer = self.sequencer.lock();
+        for (verdict, slot) in staged {
+            sequencer.requests += 1;
+            match verdict {
+                Verdict::Clean(index) => {
+                    let commit_version = sequencer.version.next();
+                    sequencer.version = commit_version;
+                    sequencer.commits += 1;
+                    let (writeset, footprint, start_version) = &accepted[index];
+                    log.append_at_with_footprint(
+                        commit_version,
+                        Arc::clone(writeset),
+                        Arc::clone(footprint),
+                        *start_version,
+                    );
+                    commit_versions.push(commit_version);
+                    commits.push((commit_version, Arc::clone(writeset), slot));
+                }
+                Verdict::Abort(decision) => {
+                    sequencer.conflict_aborts += 1;
+                    aborts.push((decision, sequencer.version, slot));
+                }
+                Verdict::EpochConflict(index) => {
+                    sequencer.conflict_aborts += 1;
+                    let decision = CertificationDecision::Abort {
+                        reason: format!(
+                            "write-write conflict with {}",
+                            commit_versions[index]
+                        ),
+                        forced: false,
+                    };
+                    aborts.push((decision, sequencer.version, slot));
+                }
+            }
+        }
+        drop(sequencer);
+        drop(log);
+
+        self.metrics.add(CounterId::CertifyBatchSize, epoch_len);
+        self.metrics.emit(
+            Event::new(Component::Certifier, EventKind::CertifyBatch)
+                .version(epoch_len)
+                .shard(shard.index()),
+        );
+
+        for (decision, system_version, slot) in aborts {
+            self.metrics.incr(CounterId::CertifyAborts);
+            self.metrics.emit(
+                Event::new(Component::Certifier, EventKind::CertifyAbort).shard(shard.index()),
+            );
+            slot.fill(Ok(Decided {
+                decision,
+                commit_version: None,
+                system_version,
+            }));
+        }
+
+        if commits.is_empty() {
+            return;
+        }
+        let group: Vec<(Version, Arc<WriteSet>)> = commits
+            .iter()
+            .map(|(version, writeset, _)| (*version, Arc::clone(writeset)))
+            .collect();
+        let durable_started = Instant::now();
+        let appended = self.shards[shard.index()].replicated.append_group(&group);
+        if appended.is_ok() && self.metrics.is_enabled() {
+            self.metrics
+                .record_stage(Stage::Durable, durable_started.elapsed());
+        }
+        for (commit_version, _, slot) in commits {
+            match &appended {
+                Ok(()) => {
+                    if self.metrics.is_enabled() {
+                        self.metrics.incr(CounterId::DurableAppends);
+                        self.metrics.incr(CounterId::CertifyCommits);
+                        self.metrics.record_shard_commit(shard.index());
+                        self.metrics.emit(
+                            Event::new(Component::Certifier, EventKind::CertifyCommit)
+                                .version(commit_version.0)
+                                .shard(shard.index()),
+                        );
+                        self.metrics.emit(
+                            Event::new(Component::Certifier, EventKind::DurableAppend)
+                                .version(commit_version.0)
+                                .shard(shard.index()),
+                        );
+                    }
+                    slot.fill(Ok(Decided {
+                        decision: CertificationDecision::Commit,
+                        commit_version: Some(commit_version),
+                        system_version: commit_version,
+                    }));
+                }
+                Err(error) => slot.fill(Err(error.clone())),
+            }
+        }
+    }
+
     /// Seals a durable checkpoint of every shard's certified log.  Each
     /// shard's image holds its truncation floor plus its entries above it,
     /// and is stamped with the global system version sampled *before* the
@@ -629,6 +1047,10 @@ impl ShardedCertifier {
             dropped += shard.log.lock().truncate_up_to(bound);
             shard.replicated.truncate_below(bound)?;
         }
+        // Refresh the certify-path floor cache (monotone: floors only grow,
+        // and only under this method).
+        self.floor_cache
+            .fetch_max(self.truncation_floor().value(), Ordering::AcqRel);
         Ok(dropped)
     }
 

@@ -100,7 +100,7 @@ impl Component {
 }
 
 /// Number of defined event kinds.
-pub const EVENT_KIND_COUNT: usize = 15;
+pub const EVENT_KIND_COUNT: usize = 16;
 
 /// What happened.  Kinds are deliberately commit-path-shaped: a grep for
 /// one transaction id across the merged timeline reconstructs its journey
@@ -137,6 +137,9 @@ pub enum EventKind {
     SessionClose,
     /// A loopback link's fault state changed (severed or healed).
     LinkFault,
+    /// The certifier drained one batched epoch of pending writesets; the
+    /// event's `version` field carries the epoch size.
+    CertifyBatch,
 }
 
 impl EventKind {
@@ -157,6 +160,7 @@ impl EventKind {
         EventKind::SessionOpen,
         EventKind::SessionClose,
         EventKind::LinkFault,
+        EventKind::CertifyBatch,
     ];
 
     /// Dense index of this kind.
@@ -178,6 +182,7 @@ impl EventKind {
             EventKind::SessionOpen => 12,
             EventKind::SessionClose => 13,
             EventKind::LinkFault => 14,
+            EventKind::CertifyBatch => 15,
         }
     }
 
@@ -200,6 +205,7 @@ impl EventKind {
             EventKind::SessionOpen => "session_open",
             EventKind::SessionClose => "session_close",
             EventKind::LinkFault => "link_fault",
+            EventKind::CertifyBatch => "certify_batch",
         }
     }
 

@@ -51,7 +51,7 @@ pub use ids::{ClientId, ReplicaId, TxId, Version};
 pub use metrics::{
     CommitPathTrace, CounterId, GaugeId, MetricsRegistry, MetricsSnapshot, Stage, TraceTimer,
 };
-pub use shard::{ShardId, ShardMap, MAX_SHARDS};
+pub use shard::{footprint_hash, ShardId, ShardMap, MAX_SHARDS};
 pub use value::Value;
 pub use stats::{GroupCommitStats, LatencyHistogram, RunStats, Series, SeriesPoint};
 pub use writeset::{RowKey, TableId, VersionedWriteSet, WriteItem, WriteOp, WriteSet};

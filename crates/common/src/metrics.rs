@@ -102,7 +102,7 @@ impl Stage {
 }
 
 /// Number of defined counters.
-pub const COUNTER_COUNT: usize = 18;
+pub const COUNTER_COUNT: usize = 22;
 
 /// A monotonic event counter of the registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -144,6 +144,24 @@ pub enum CounterId {
     NetMessages,
     /// Session re-establishments after a broken or severed link.
     NetReconnects,
+    /// Writesets certified through batched epochs (the sum of epoch sizes;
+    /// divided by the number of `certify_batch` journal events it yields the
+    /// mean epoch size).
+    CertifyBatchSize,
+    /// Certifications whose footprint provably intersected nothing in the
+    /// conflict window: the pre-screen let them skip the intersection scan.
+    PrescreenHits,
+    /// Certifications the pre-screen could not clear (a bucket was newer
+    /// than the snapshot), which therefore paid the full intersection scan.
+    PrescreenMisses,
+    /// Fault-injection transitions on the cluster surface: every node crash
+    /// and every successful recovery increments it.  A non-zero delta over a
+    /// sampling window is edge evidence that fault injection touched the
+    /// cluster — even when a crash/recover pair lands entirely between two
+    /// samples, where the level-sampled [`GaugeId::NodesDown`] never shows
+    /// it.  The anomaly watchdog's drain-stall detector stands down while
+    /// this counter moves within its lookback.
+    FaultTransitions,
 }
 
 impl CounterId {
@@ -167,6 +185,10 @@ impl CounterId {
         CounterId::NetBytesReceived,
         CounterId::NetMessages,
         CounterId::NetReconnects,
+        CounterId::CertifyBatchSize,
+        CounterId::PrescreenHits,
+        CounterId::PrescreenMisses,
+        CounterId::FaultTransitions,
     ];
 
     /// Dense index of this counter.
@@ -191,6 +213,10 @@ impl CounterId {
             CounterId::NetBytesReceived => 15,
             CounterId::NetMessages => 16,
             CounterId::NetReconnects => 17,
+            CounterId::CertifyBatchSize => 18,
+            CounterId::PrescreenHits => 19,
+            CounterId::PrescreenMisses => 20,
+            CounterId::FaultTransitions => 21,
         }
     }
 
@@ -216,12 +242,16 @@ impl CounterId {
             CounterId::NetBytesReceived => "net_bytes_received",
             CounterId::NetMessages => "net_messages",
             CounterId::NetReconnects => "net_reconnects",
+            CounterId::CertifyBatchSize => "certify_batch_size",
+            CounterId::PrescreenHits => "prescreen_hits",
+            CounterId::PrescreenMisses => "prescreen_misses",
+            CounterId::FaultTransitions => "fault_transitions",
         }
     }
 }
 
 /// Number of defined gauges.
-pub const GAUGE_COUNT: usize = 5;
+pub const GAUGE_COUNT: usize = 6;
 
 /// A queue-depth gauge of the registry.  Every gauge also tracks its
 /// high-water mark since registry creation.
@@ -241,6 +271,12 @@ pub enum GaugeId {
     /// Network sessions currently established (both ends of a loopback or
     /// TCP connection count their own side).
     OpenSessions,
+    /// Cluster nodes (replicas + certifier shard-group members) currently
+    /// crashed by fault injection.  Non-zero means commits may legitimately
+    /// stop — the anomaly watchdog's drain-stall detector stands down while
+    /// this gauge is raised.  The high-water mark records the deepest
+    /// concurrent outage of the run.
+    NodesDown,
 }
 
 impl GaugeId {
@@ -251,6 +287,7 @@ impl GaugeId {
         GaugeId::WalGroupBatch,
         GaugeId::TruncationWatermark,
         GaugeId::OpenSessions,
+        GaugeId::NodesDown,
     ];
 
     /// Dense index of this gauge.
@@ -262,6 +299,7 @@ impl GaugeId {
             GaugeId::WalGroupBatch => 2,
             GaugeId::TruncationWatermark => 3,
             GaugeId::OpenSessions => 4,
+            GaugeId::NodesDown => 5,
         }
     }
 
@@ -274,6 +312,7 @@ impl GaugeId {
             GaugeId::WalGroupBatch => "wal_group_batch",
             GaugeId::TruncationWatermark => "truncation_watermark",
             GaugeId::OpenSessions => "open_sessions",
+            GaugeId::NodesDown => "nodes_down",
         }
     }
 }

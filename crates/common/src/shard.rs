@@ -59,6 +59,25 @@ fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
     })
 }
 
+/// The deterministic footprint hash of one `(table, key)` pair.
+///
+/// [`ShardMap::shard_of`] is this hash modulo the shard count; the
+/// certifier's pre-screen index buckets it modulo its bucket count.  Both
+/// uses need the same property — identical across processes, machines and
+/// runs — so they share one definition.
+#[must_use]
+pub fn footprint_hash(table: TableId, key: &RowKey) -> u64 {
+    let hash = fnv1a(FNV_OFFSET, &table.0.to_le_bytes());
+    match key {
+        RowKey::Int(i) => fnv1a(fnv1a(hash, &[0x01]), &i.to_le_bytes()),
+        RowKey::Pair(a, b) => {
+            let h = fnv1a(fnv1a(hash, &[0x02]), &a.to_le_bytes());
+            fnv1a(h, &b.to_le_bytes())
+        }
+        RowKey::Text(s) => fnv1a(fnv1a(hash, &[0x03]), s.as_bytes()),
+    }
+}
+
 impl ShardMap {
     /// Creates a map over `shard_count` shards.
     ///
@@ -108,15 +127,7 @@ impl ShardMap {
     /// identical across processes, machines and runs.
     #[must_use]
     pub fn shard_of(&self, table: TableId, key: &RowKey) -> ShardId {
-        let mut hash = fnv1a(FNV_OFFSET, &table.0.to_le_bytes());
-        hash = match key {
-            RowKey::Int(i) => fnv1a(fnv1a(hash, &[0x01]), &i.to_le_bytes()),
-            RowKey::Pair(a, b) => {
-                let h = fnv1a(fnv1a(hash, &[0x02]), &a.to_le_bytes());
-                fnv1a(h, &b.to_le_bytes())
-            }
-            RowKey::Text(s) => fnv1a(fnv1a(hash, &[0x03]), s.as_bytes()),
-        };
+        let hash = footprint_hash(table, key);
         ShardId((hash % u64::from(self.shard_count.max(1))) as u32)
     }
 

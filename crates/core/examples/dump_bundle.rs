@@ -1,0 +1,76 @@
+//! Dumps a captured diagnostic bundle (`*.tdb`) as human-readable text:
+//! the verdict, the counter snapshot, per-replica progress, the tail of the
+//! event journal and the recent commit-path traces.
+//!
+//! Usage: `cargo run -p tashkent --example dump_bundle -- <bundle.tdb>...`
+
+use tashkent::DiagnosticBundle;
+use tashkent_common::metrics::{CounterId, GaugeId, Stage};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: dump_bundle <bundle.tdb>...");
+        std::process::exit(2);
+    }
+    for path in &args {
+        let bundle = match DiagnosticBundle::read_from(path.as_ref()) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                continue;
+            }
+        };
+        println!("==== {path} ====");
+        println!("kind:   {}", bundle.kind);
+        println!("detail: {}", bundle.detail);
+        println!("progress: {:?}", bundle.progress);
+        println!("elapsed: {:?}", bundle.snapshot.elapsed);
+        println!("-- counters --");
+        for id in CounterId::ALL {
+            let value = bundle.snapshot.counter(id);
+            if value != 0 {
+                println!("  {:<28} {value}", id.label());
+            }
+        }
+        println!("shard_commits: {:?}", bundle.snapshot.shard_commits);
+        println!("-- gauges --");
+        for id in GaugeId::ALL {
+            let (value, high) = bundle.snapshot.gauge(id);
+            if value != 0 || high != 0 {
+                println!("  {:<28} {value} (high {high})", id.label());
+            }
+        }
+        println!("-- stages (count/p50us/maxus) --");
+        for id in Stage::ALL {
+            let hist = bundle.snapshot.stage(id);
+            if hist.count() > 0 {
+                println!(
+                    "  {:<12} {:>8} {:>10.0} {:>12.0}",
+                    id.label(),
+                    hist.count(),
+                    hist.median().as_secs_f64() * 1e6,
+                    hist.max().as_secs_f64() * 1e6,
+                );
+            }
+        }
+        let lw = &bundle.snapshot.lock_wait;
+        if lw.count() > 0 {
+            println!(
+                "lock_wait: count {} p50 {:?} max {:?}",
+                lw.count(),
+                lw.median(),
+                lw.max()
+            );
+        }
+        println!("-- events ({}) tail --", bundle.events.len());
+        for event in bundle.events.iter().rev().take(60).rev() {
+            println!("  {event:?}");
+        }
+        println!("-- traces ({}) tail --", bundle.traces.len());
+        for trace in bundle.traces.iter().rev().take(12).rev() {
+            println!("  {trace:?}");
+        }
+        println!();
+    }
+}

@@ -7,8 +7,8 @@ use tashkent_certifier::{
     ShardedCertifierConfig,
 };
 use tashkent_common::{
-    ClusterConfig, CommitPathTrace, Error, Event, MetricsRegistry, MetricsSnapshot, ReplicaId,
-    Result, ShardId, SystemKind, TableId, Version,
+    metrics::GaugeId, ClusterConfig, CommitPathTrace, Error, Event, MetricsRegistry,
+    MetricsSnapshot, ReplicaId, Result, ShardId, SystemKind, TableId, Version,
 };
 use tashkent_net::ClusterNet;
 use tashkent_proxy::{CertifierHandle, Proxy, ProxyStats, ProxyTransaction};
@@ -85,6 +85,7 @@ impl Cluster {
             forced_abort_rate: config.forced_abort_rate,
             seed: 0x7A5B_1001,
             metrics: Arc::clone(&metrics),
+            batch: true,
         };
         let certifier: CertifierHandle = if config.certifier_shards > 1 {
             Arc::new(ShardedCertifier::new(ShardedCertifierConfig {
@@ -151,6 +152,23 @@ impl Cluster {
         self.net
             .as_ref()
             .is_some_and(|net| net.heal_certifier_link(replica))
+    }
+
+    /// Severs only one direction of a replica's link to the certifier
+    /// (half-open link): `to_certifier = true` drops replica→certifier
+    /// bytes, `false` drops certifier→replica bytes.
+    pub fn sever_certifier_link_one_way(&self, replica: usize, to_certifier: bool) -> bool {
+        self.net
+            .as_ref()
+            .is_some_and(|net| net.sever_certifier_link_one_way(replica, to_certifier))
+    }
+
+    /// Enables seeded random connection resets on the loopback network
+    /// (`rate = 0.0` disables).  A no-op off the loopback transport.
+    pub fn set_packet_loss(&self, seed: u64, rate: f64) -> bool {
+        self.net
+            .as_ref()
+            .is_some_and(|net| net.set_packet_loss(seed, rate))
     }
 
     /// Severs every replica's link to the certifier — a full
@@ -418,6 +436,7 @@ impl Cluster {
     /// Panics if `replica` is out of range.
     pub fn crash_replica(&self, replica: usize) {
         self.replicas[replica].crash();
+        self.refresh_nodes_down();
     }
 
     /// Recovers one crashed replica following its system's procedure (WAL
@@ -432,12 +451,15 @@ impl Cluster {
     ///
     /// Panics if `replica` is out of range.
     pub fn recover_replica(&self, replica: usize) -> Result<usize> {
-        self.replicas[replica].recover()
+        let applied = self.replicas[replica].recover();
+        self.refresh_nodes_down();
+        applied
     }
 
     /// Crashes one certifier node.
     pub fn crash_certifier_node(&self, node: CertifierNodeId) {
         self.certifier.crash_node(node);
+        self.refresh_nodes_down();
     }
 
     /// Recovers one certifier node via state transfer.
@@ -446,7 +468,9 @@ impl Cluster {
     ///
     /// Fails if no up node can donate its log.
     pub fn recover_certifier_node(&self, node: CertifierNodeId) -> Result<()> {
-        self.certifier.recover_node(node)
+        let recovered = self.certifier.recover_node(node);
+        self.refresh_nodes_down();
+        recovered
     }
 
     /// Crashes one node of one certifier shard's replicated group (the
@@ -457,6 +481,7 @@ impl Cluster {
     /// Panics if `shard` is out of range.
     pub fn crash_certifier_shard_node(&self, shard: ShardId, node: CertifierNodeId) {
         self.certifier.crash_shard_node(shard, node);
+        self.refresh_nodes_down();
     }
 
     /// Recovers one node of one certifier shard's group via state transfer.
@@ -473,7 +498,30 @@ impl Cluster {
         shard: ShardId,
         node: CertifierNodeId,
     ) -> Result<()> {
-        self.certifier.recover_shard_node(shard, node)
+        let recovered = self.certifier.recover_shard_node(shard, node);
+        self.refresh_nodes_down();
+        recovered
+    }
+
+    /// Recomputes the [`GaugeId::NodesDown`] gauge from live membership
+    /// (crashed replicas plus crashed certifier shard-group members) and
+    /// bumps the [`CounterId::FaultTransitions`] edge counter.  Called after
+    /// every crash/recover on the cluster's fault surface, so the flight
+    /// recorder (and the anomaly watchdog reading it) can tell an outage
+    /// window — where commits legitimately stop — from a wedged commit path
+    /// on a whole cluster.  The counter matters for crash/recover pairs
+    /// short enough to fall entirely between two flight samples: the gauge
+    /// never shows them, the counter delta does.
+    ///
+    /// [`CounterId::FaultTransitions`]: tashkent_common::metrics::CounterId::FaultTransitions
+    fn refresh_nodes_down(&self) {
+        let replicas_down = self.replicas.iter().filter(|r| r.is_crashed()).count();
+        let log = self.certifier.stats().log;
+        let certifier_down = log.nodes_total.saturating_sub(log.nodes_up);
+        self.metrics
+            .gauge_set(GaugeId::NodesDown, (replicas_down + certifier_down) as i64);
+        self.metrics
+            .incr(tashkent_common::metrics::CounterId::FaultTransitions);
     }
 
     /// Aggregated statistics across the cluster.

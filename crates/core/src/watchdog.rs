@@ -27,6 +27,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use tashkent_common::metrics::GaugeId;
 use tashkent_common::{CounterId, MetricsRegistry};
 
 use crate::bundle::DiagnosticBundle;
@@ -97,6 +98,14 @@ pub struct WatchdogConfig {
     /// distinguishes a drain stall from a merely idle cluster
     /// (`WATCHDOG_STALL_MIN_FSYNCS`, default 2).
     pub stall_min_fsyncs: u64,
+    /// Samples of post-outage grace: the stall detector stands down while
+    /// any retained sample shows [`GaugeId::NodesDown`] non-zero, and the
+    /// sample buffer is sized to look this many samples past the stall
+    /// window (`WATCHDOG_STALL_OUTAGE_GRACE`, default 24 — six seconds at
+    /// the 250 ms interval, past the 5 s ordered-commit timeout that bounds
+    /// how long a transaction caught mid-flight by a crash can keep the
+    /// drain busy after the heal).
+    pub stall_outage_grace: usize,
     /// Sampling interval of the watchdog's own recorder thread.
     pub interval: Duration,
 }
@@ -108,6 +117,7 @@ impl Default for WatchdogConfig {
             convoy_min_aborts: 1,
             stall_window: 4,
             stall_min_fsyncs: 2,
+            stall_outage_grace: 24,
             interval: Duration::from_millis(250),
         }
     }
@@ -134,17 +144,25 @@ impl WatchdogConfig {
         if let Some(v) = env_parse::<u64>("WATCHDOG_STALL_MIN_FSYNCS") {
             config.stall_min_fsyncs = v.max(1);
         }
+        if let Some(v) = env_parse::<usize>("WATCHDOG_STALL_OUTAGE_GRACE") {
+            config.stall_outage_grace = v;
+        }
         if let Some(v) = env_parse::<u64>("WATCHDOG_INTERVAL_MS") {
             config.interval = Duration::from_millis(v.max(1));
         }
         config
     }
 
-    /// How many samples the detectors need to see before either signature
-    /// can fire (the longer window, plus one for the delta baseline).
+    /// How many samples the watchdog retains: the longer detector window
+    /// plus one for the delta baseline, stretched to keep the stall
+    /// detector's post-outage grace horizon in view.  Detectors still fire
+    /// as soon as their own window fills — retention only bounds how far
+    /// back the outage stand-down can see.
     #[must_use]
     pub fn samples_needed(&self) -> usize {
-        self.convoy_window.max(self.stall_window) + 1
+        self.convoy_window
+            .max(self.stall_window + self.stall_outage_grace)
+            + 1
     }
 }
 
@@ -201,18 +219,66 @@ fn detect_convoy(samples: &[FlightSample], config: &WatchdogConfig) -> Option<Ve
 /// committed zero transactions while the window as a whole still recorded
 /// at least `stall_min_fsyncs` WAL fsyncs — the periodic-fsync heartbeat
 /// that separates a wedged commit path from an idle cluster.
+///
+/// The detector stands down while fault injection touches the cluster, and
+/// through a grace horizon after the heal: commits stopping during (or in
+/// the aftermath of) an outage is *expected* behavior, and transactions
+/// caught mid-flight by a crash may legitimately keep the drain busy for up
+/// to the 5 s ordered-commit timeout after the heal.  Two pieces of
+/// evidence, both checked over every retained sample (the buffer is sized
+/// by [`WatchdogConfig::samples_needed`] to cover `stall_outage_grace`
+/// samples past the stall window):
+///
+/// * **Level** — `GaugeId::NodesDown` non-zero in any sample: part of the
+///   cluster is (or recently was) down.
+/// * **Edge** — the `FaultTransitions` counter moved across the buffer: a
+///   crash or recovery fired inside the lookback, even if the whole
+///   crash/recover pair fell between two samples where the gauge never
+///   shows it.
+/// * **Apply progress** — `RemoteInstalls` advanced during the stall window
+///   itself: the cluster is replaying a recovered replica's backlog (which
+///   can outlive any fixed grace horizon), not wedged.  The genuine
+///   pathology installs nothing — its applies keep aborting in a
+///   deadlock-retry loop, so only the fsync heartbeat moves.
+///
+/// The judgment only applies to a whole, settled cluster — exactly where
+/// the historical drain-tail pathology lived.
 fn detect_stall(samples: &[FlightSample], config: &WatchdogConfig) -> Option<Verdict> {
     let window = config.stall_window.max(1);
     if samples.len() < window + 1 {
         return None;
     }
     let first = samples.len() - window;
+    if samples
+        .iter()
+        .any(|s| s.snapshot.gauge(GaugeId::NodesDown).0 > 0)
+    {
+        return None;
+    }
+    let transitions = samples[samples.len() - 1]
+        .snapshot
+        .counter(CounterId::FaultTransitions)
+        .saturating_sub(samples[0].snapshot.counter(CounterId::FaultTransitions));
+    if transitions != 0 {
+        return None;
+    }
     let mut fsyncs = 0u64;
+    let mut installs = 0u64;
     for i in first..samples.len() {
         if delta(samples, CounterId::TxCommitted, i) != 0 {
             return None;
         }
         fsyncs += delta(samples, CounterId::WalFsyncs, i);
+        installs += delta(samples, CounterId::RemoteInstalls, i);
+    }
+    // Remote writesets landing during the window mean the cluster is
+    // *applying* — a recovered replica replaying a backlog thousands of
+    // versions deep (commits queue behind the catch-up, sometimes for
+    // seconds past any grace horizon).  A wedged commit path installs
+    // nothing: the historical drain-tail pathology was a deadlock-retry
+    // loop whose applies kept aborting, so only the fsync heartbeat moved.
+    if installs != 0 {
+        return None;
     }
     if fsyncs < config.stall_min_fsyncs {
         return None;
@@ -402,6 +468,7 @@ mod tests {
             convoy_min_aborts: 1,
             stall_window: 3,
             stall_min_fsyncs: 2,
+            stall_outage_grace: 4,
             interval: Duration::from_millis(250),
         }
     }
@@ -442,6 +509,78 @@ mod tests {
     }
 
     #[test]
+    fn stall_detector_stands_down_while_fault_injection_holds_nodes_down() {
+        let mut t = TimelineBuilder::new();
+        t.tick(50, 1, 4).tick(50, 0, 4);
+        // A certifier shard group goes down: commits stop, fsyncs heartbeat —
+        // the stall signature, but explained by the outage.
+        t.registry.gauge_set(GaugeId::NodesDown, 2);
+        t.tick(0, 0, 1).tick(0, 0, 1).tick(0, 0, 1);
+        assert!(
+            detect(&t.samples, &config()).is_none(),
+            "outage windows must not read as drain stalls"
+        );
+        // Nodes recover.  While the outage samples are still retained the
+        // grace holds (the drain may be working off transactions the crash
+        // caught mid-flight) …
+        t.registry.gauge_set(GaugeId::NodesDown, 0);
+        t.tick(0, 0, 1).tick(0, 0, 1).tick(0, 0, 1).tick(0, 0, 1);
+        assert!(
+            detect(&t.samples, &config()).is_none(),
+            "the post-outage grace horizon must hold while outage samples remain"
+        );
+        // … but once the buffer has evicted the outage (all retained samples
+        // show a whole cluster), the same signature is a real stall again.
+        let settled = &t.samples[6..];
+        let verdict = detect(settled, &config()).expect("post-grace stall must fire");
+        assert_eq!(verdict.kind, AnomalyKind::DrainStall);
+    }
+
+    #[test]
+    fn stall_detector_stands_down_after_a_sub_sample_crash_recover_pair() {
+        let mut t = TimelineBuilder::new();
+        t.tick(50, 1, 4).tick(50, 0, 4);
+        // A crash/recover pair lands entirely between two samples: the
+        // NodesDown gauge reads zero at every sample instant, but the
+        // transition counter moved — and the aftermath (clients waiting out
+        // their outage timeouts) shows the stall signature.
+        t.registry.incr(CounterId::FaultTransitions);
+        t.registry.incr(CounterId::FaultTransitions);
+        t.tick(0, 0, 1).tick(0, 0, 1).tick(0, 0, 1);
+        assert!(
+            detect(&t.samples, &config()).is_none(),
+            "a fault transition inside the lookback must suppress the stall"
+        );
+        // Once the transition ages out of the retained buffer, the same
+        // signature fires.
+        t.tick(0, 0, 1).tick(0, 0, 1).tick(0, 0, 1).tick(0, 0, 1);
+        let settled = &t.samples[6..];
+        let verdict = detect(settled, &config()).expect("post-grace stall must fire");
+        assert_eq!(verdict.kind, AnomalyKind::DrainStall);
+    }
+
+    #[test]
+    fn stall_detector_stands_down_while_catch_up_applies_make_progress() {
+        let mut t = TimelineBuilder::new();
+        t.tick(50, 1, 4).tick(50, 0, 4);
+        // A recovered replica replays its backlog: commits queue behind the
+        // catch-up (zero per window) while remote installs pour in.
+        for _ in 0..4 {
+            t.registry.add(CounterId::RemoteInstalls, 500);
+            t.tick(0, 0, 3);
+        }
+        assert!(
+            detect(&t.samples, &config()).is_none(),
+            "a catch-up replay is apply progress, not a wedged commit path"
+        );
+        // The backlog drains, installs go quiet, commits still zero — now
+        // it is the real signature.
+        t.tick(0, 0, 1).tick(0, 0, 1).tick(0, 0, 1);
+        let verdict = detect(&t.samples, &config()).expect("post-catch-up stall must fire");
+        assert_eq!(verdict.kind, AnomalyKind::DrainStall);
+    }
+
+    #[test]
     fn stall_detector_ignores_an_idle_cluster_without_fsyncs() {
         let mut t = TimelineBuilder::new();
         t.tick(50, 0, 4);
@@ -475,6 +614,7 @@ mod tests {
                 convoy_min_aborts: 1,
                 stall_window: 3,
                 stall_min_fsyncs: 2,
+                stall_outage_grace: 4,
                 interval: Duration::from_millis(5),
             },
             Box::new(move |verdict| {

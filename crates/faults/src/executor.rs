@@ -19,7 +19,10 @@ use std::time::Duration;
 use tashkent::{Cluster, CertifierNodeId};
 use tashkent_common::{Error, Result};
 
-use crate::plan::{FaultAction, FaultEvent, FaultPlan, FaultTarget, LinkAction, LinkEvent, LinkTarget, NodePick};
+use crate::plan::{
+    FaultAction, FaultEvent, FaultPlan, FaultTarget, LinkAction, LinkDirection, LinkEvent,
+    LinkTarget, NodePick,
+};
 
 /// One executed event, with its pick resolved to a concrete victim.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -288,12 +291,27 @@ impl FaultExecutor {
     /// in-process clusters.
     fn fire_link(&self, link: &LinkEvent, trace: &mut ExecutionTrace) {
         match link.action {
-            LinkAction::Sever(LinkTarget::Replica(r)) => {
-                self.cluster.sever_certifier_link(r);
+            LinkAction::Sever(target, direction) => {
+                let replicas: Vec<usize> = match target {
+                    LinkTarget::Replica(r) => vec![r],
+                    LinkTarget::AllReplicas => (0..self.cluster.replica_count()).collect(),
+                };
+                for r in replicas {
+                    match direction {
+                        LinkDirection::Both => {
+                            self.cluster.sever_certifier_link(r);
+                        }
+                        LinkDirection::ToCertifier => {
+                            self.cluster.sever_certifier_link_one_way(r, true);
+                        }
+                        LinkDirection::FromCertifier => {
+                            self.cluster.sever_certifier_link_one_way(r, false);
+                        }
+                    }
+                }
             }
-            LinkAction::Sever(LinkTarget::AllReplicas) => {
-                self.cluster.partition_certifier();
-            }
+            // Heals cover every direction, so a one-way sever and its heal
+            // pair exactly like a symmetric one.
             LinkAction::Heal(LinkTarget::Replica(r)) => {
                 self.cluster.heal_certifier_link(r);
             }

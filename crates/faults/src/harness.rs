@@ -87,6 +87,11 @@ pub struct ScheduleConfig {
     /// Run the cluster over the in-memory loopback network and weave link
     /// sever/heal events into the schedule (see [`PlanConfig::partition`]).
     pub partition: bool,
+    /// Seeded packet loss for the whole run: each send has this
+    /// probability of resetting its connection (see
+    /// [`PlanConfig::drop_rate`]).  Implies the loopback transport.
+    /// `0.0` disables.
+    pub drop_rate: f64,
 }
 
 impl ScheduleConfig {
@@ -127,6 +132,15 @@ impl ScheduleConfig {
             // the seed space runs over the loopback network with link
             // faults layered onto the crash schedule.
             partition: rng.gen_bool(0.2),
+            // Appended last again: a sixth of the seed space adds seeded
+            // packet loss (random connection resets) on top of whatever
+            // the earlier draws chose.  The rate stays low enough that the
+            // driver's resilient clients ride out the reconnect storms.
+            drop_rate: if rng.gen_bool(1.0 / 6.0) {
+                rng.gen_range(0.001..0.005)
+            } else {
+                0.0
+            },
         }
     }
 
@@ -137,9 +151,10 @@ impl ScheduleConfig {
         config.replicas = self.replicas;
         config.certifier_shards = self.certifier_shards;
         config.clients_per_replica = self.clients_per_replica;
-        if self.partition {
-            // Link faults need a real wire to cut: run the whole cluster
-            // over the deterministic in-memory loopback transport.
+        if self.partition || self.drop_rate > 0.0 {
+            // Link faults need a real wire to cut (and packet loss a real
+            // wire to lose): run the whole cluster over the deterministic
+            // in-memory loopback transport.
             config.transport = tashkent::TransportKind::Loopback;
         }
         config
@@ -158,6 +173,7 @@ impl ScheduleConfig {
         plan.version_step = self.version_step;
         plan.total_outage = self.total_outage;
         plan.partition = self.partition;
+        plan.drop_rate = self.drop_rate;
         plan
     }
 }
@@ -207,7 +223,7 @@ impl std::fmt::Display for ScheduleOutcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "schedule seed {:#x}: {} on {} ({} replicas, {} shard(s)) — {} commits, {} faults, {}",
+            "schedule seed {:#x}: {} on {} ({} replicas, {} shard(s)) — {} commits, {} faults, prescreen {}/{} hit/miss, {}",
             self.seed,
             match self.config.workload {
                 HarnessWorkload::AllUpdates => "AllUpdates",
@@ -218,6 +234,13 @@ impl std::fmt::Display for ScheduleOutcome {
             self.config.certifier_shards,
             self.report.committed,
             self.plan.fault_count(),
+            // Printed on every schedule (PR smoke and nightly soak alike)
+            // so pre-screen effectiveness under faults is visible in CI
+            // logs, not just in benches.
+            self.snapshot
+                .counter(tashkent_common::metrics::CounterId::PrescreenHits),
+            self.snapshot
+                .counter(tashkent_common::metrics::CounterId::PrescreenMisses),
             if self.passed() { "PASS" } else { "FAIL" },
         )?;
         if !self.passed() {
@@ -247,6 +270,14 @@ impl std::fmt::Display for ScheduleOutcome {
 #[must_use]
 pub fn run_plan(seed: u64, config: &ScheduleConfig, plan: &FaultPlan) -> ScheduleOutcome {
     let cluster = Arc::new(Cluster::new(config.cluster_config()).expect("valid configuration"));
+    // Seeded packet loss rides under the whole schedule, salted away from
+    // every other RNG stream so enabling it never moves a seed's fault
+    // events (PlanConfig carries the rate; the loopback net rolls the
+    // per-send dice).
+    let drop_rate = config.plan_config().drop_rate;
+    if drop_rate > 0.0 {
+        cluster.set_packet_loss(seed ^ 0xD209_5EED_0CA5_CADE, drop_rate);
+    }
     let workload = config.workload.build();
     workload.setup(&cluster);
     let metrics_before = cluster.metrics_snapshot();

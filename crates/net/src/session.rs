@@ -55,6 +55,14 @@ pub struct SessionConfig {
     pub backoff_ceiling: Duration,
     /// Bounded send queue: callers beyond this wait for space, then fail.
     pub send_queue_limit: usize,
+    /// Half-open link detector: if requests are in flight but *no* inbound
+    /// traffic arrives for this long, the session declares the return path
+    /// dead and tears the connection down for a redial.  A one-way severed
+    /// link never surfaces as a send error — the bytes just vanish — so
+    /// without this the session would sit "connected" forever while every
+    /// request burned its full timeout.  Appended last so configurations
+    /// built field-by-field before it existed keep their meaning.
+    pub half_open_grace: Duration,
 }
 
 impl SessionConfig {
@@ -68,6 +76,9 @@ impl SessionConfig {
             backoff_floor: Duration::from_millis(1),
             backoff_ceiling: Duration::from_millis(50),
             send_queue_limit: 256,
+            // At the request timeout a healthy server must long since have
+            // answered *something*, so this can never fire spuriously.
+            half_open_grace: Duration::from_secs(2),
         }
     }
 }
@@ -171,6 +182,26 @@ impl RemoteCertifier {
             if start.elapsed() > deadline {
                 return Err(Error::Unavailable(format!(
                     "session {} -> {} did not establish within {deadline:?}",
+                    self.config.node, self.config.endpoint
+                )));
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+        Ok(())
+    }
+
+    /// Waits until the session has *dropped* (half-open detection and
+    /// fault tests use this to observe a teardown).
+    ///
+    /// # Errors
+    ///
+    /// `Unavailable` if the session is still up when the deadline passes.
+    pub fn wait_disconnected(&self, deadline: Duration) -> Result<()> {
+        let start = Instant::now();
+        while self.is_connected() {
+            if start.elapsed() > deadline {
+                return Err(Error::Unavailable(format!(
+                    "session {} -> {} still connected after {deadline:?}",
                     self.config.node, self.config.endpoint
                 )));
             }
@@ -402,7 +433,7 @@ fn event_loop(shared: &Shared, config: &SessionConfig, transport: &dyn Transport
         );
 
         // Phase 2: pump the session until it breaks or we shut down.
-        let why = pump_session(shared, conn);
+        let why = pump_session(shared, config, conn);
 
         shared.connected.store(false, Ordering::Release);
         shared.metrics.gauge_add(GaugeId::OpenSessions, -1);
@@ -448,7 +479,13 @@ fn establish(
 }
 
 /// Drives one established session; returns the reason it ended.
-fn pump_session(shared: &Shared, mut framed: FramedConn) -> String {
+fn pump_session(shared: &Shared, config: &SessionConfig, mut framed: FramedConn) -> String {
+    // Half-open link detection: a one-way cut of the wire never errors a
+    // send — bytes just vanish — so the pump watches for the *absence* of
+    // response traffic while requests are outstanding and declares the
+    // session dead after `half_open_grace`.  The timer only runs while
+    // something is awaited: an idle session owes us no traffic.
+    let mut waiting_since = Instant::now();
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             graceful_close(shared, &mut framed);
@@ -457,9 +494,10 @@ fn pump_session(shared: &Shared, mut framed: FramedConn) -> String {
         let mut moved = false;
 
         // Outbound: stage queued requests, then push bytes.
-        {
+        let has_pending = {
             let mut state = shared.state.lock();
             let queued: Vec<Envelope> = state.outbound.drain(..).collect();
+            let has_pending = state.pending.values().any(Option::is_none);
             drop(state);
             if !queued.is_empty() {
                 moved = true;
@@ -469,6 +507,16 @@ fn pump_session(shared: &Shared, mut framed: FramedConn) -> String {
                 // Queue space freed: wake writers blocked on backpressure.
                 shared.answered.notify_all();
             }
+            has_pending
+        };
+        if !has_pending {
+            waiting_since = Instant::now();
+        } else if waiting_since.elapsed() > config.half_open_grace {
+            return format!(
+                "no response traffic for {:?} with requests in flight; \
+                 assuming a half-open link",
+                config.half_open_grace
+            );
         }
         match framed.flush(&shared.metrics) {
             Ok(flushed) => moved |= flushed,
@@ -480,6 +528,7 @@ fn pump_session(shared: &Shared, mut framed: FramedConn) -> String {
             Ok(envelopes) => {
                 if !envelopes.is_empty() {
                     moved = true;
+                    waiting_since = Instant::now();
                     let mut state = shared.state.lock();
                     for envelope in envelopes {
                         if let Some(slot) = state.pending.get_mut(&envelope.request_id) {

@@ -185,6 +185,62 @@ fn partition_fails_fast_and_reconnects_after_heal() {
 }
 
 #[test]
+fn half_open_link_is_detected_and_session_recovers_after_heal() {
+    let net = LoopbackNet::shared();
+    let metrics = Arc::new(MetricsRegistry::enabled());
+    let handle = single_handle();
+    let _server = NetServer::start(
+        "certifier",
+        handle,
+        &net.transport("certifier"),
+        "certifier",
+        Arc::clone(&metrics),
+    )
+    .unwrap();
+    let mut config = SessionConfig::new("replica-0", "certifier");
+    config.request_timeout = Duration::from_millis(300);
+    config.half_open_grace = Duration::from_millis(100);
+    let client = RemoteCertifier::start(
+        config,
+        Arc::new(net.transport("replica-0")),
+        Arc::clone(&metrics),
+    );
+    client.wait_connected(Duration::from_secs(2)).unwrap();
+    assert_eq!(commit(client.as_ref(), 1), Version(1));
+
+    // Cut only the certifier→replica direction: requests still *arrive*
+    // (and are served), but every response vanishes.  No send on either
+    // side errors — the nastiest link failure.
+    assert!(net.sever_one_way("certifier", "replica-0"));
+    let at = Version(1);
+    let result = client.as_ref().certify(&CertificationRequest {
+        replica: ReplicaId(0),
+        start_version: at,
+        writeset: ws(2),
+        replica_version: at,
+    });
+    assert!(result.is_err_and(|e| e.is_unavailable()));
+    // The no-response-traffic detector must tear the session down rather
+    // than leaving it "connected" to a dead return path; the redial is
+    // then refused while the direction stays cut.
+    client
+        .wait_disconnected(Duration::from_secs(2))
+        .expect("half-open session must be detected and torn down");
+
+    net.heal("replica-0", "certifier");
+    client.wait_connected(Duration::from_secs(2)).unwrap();
+    // The writeset certified into the void DID commit server-side (key 2
+    // took version 2) — the retry path must cope with that, which is why
+    // the driver retries with a fresh key/start rather than re-sending.
+    assert_eq!(commit(client.as_ref(), 3), Version(3));
+    assert!(
+        metrics.snapshot().counter(CounterId::NetReconnects) >= 1,
+        "recovering from a half-open link must count a reconnect"
+    );
+    client.close();
+}
+
+#[test]
 fn cluster_net_wires_replicas_and_links() {
     let metrics = Arc::new(MetricsRegistry::enabled());
     let net = ClusterNet::start(

@@ -577,7 +577,7 @@ impl Database {
         respect_sync_mode: bool,
     ) -> Result<Version> {
         let tx = self.begin();
-        self.mark_remote_apply(tx.id());
+        self.mark_remote_apply(tx.id(), None);
         if let Err(e) = tx.apply_items(writeset) {
             tx.abort();
             return Err(e);
@@ -603,18 +603,80 @@ impl Database {
         commit_version: Version,
         order_index: u64,
     ) -> Result<Version> {
-        let tx = self.begin();
-        self.mark_remote_apply(tx.id());
-        if let Err(e) = tx.apply_items(writeset) {
-            tx.abort();
-            return Err(e);
+        // An ordered apply can lose a row to an *earlier-ordered* apply
+        // mid-flight: `lock_row` wounds the later-ordered holder of a row
+        // the earlier one needs (the later one is parked waiting for the
+        // earlier one's announce — a guaranteed cross-component deadlock
+        // otherwise), and a first-committer validation can trip over the
+        // earlier apply's just-installed row.  Both are transient ordering
+        // artifacts, not real conflicts — this writeset is certified and
+        // must commit — so retry with a fresh snapshot.  Progress is
+        // guaranteed: a wound only comes from a strictly earlier announce
+        // order, so a retry that waits for this apply's own announce turn
+        // cannot be wounded again (every earlier order has announced by
+        // then).  The wait matters as much as the retry itself: retrying
+        // immediately turns a deep pipeline into a livelock — dozens of
+        // wounded appliers respinning begin/apply/conflict at full speed
+        // starve the announce chain they are waiting on (on a small box the
+        // fault harness measured multi-second drain stalls with ~75
+        // runnable threads), while parking on the announce condvar lets the
+        // one thread whose turn it is actually run.  The cap is a backstop
+        // that surfaces genuine pathology to the caller's resync path.
+        const WOUND_RETRIES: usize = 64;
+        let mut attempt = 0;
+        loop {
+            let tx = self.begin();
+            self.mark_remote_apply(tx.id(), Some(order_index));
+            let result = match tx.apply_items(writeset) {
+                Ok(()) => tx.commit_ordered(order_index, commit_version),
+                Err(e) => {
+                    tx.abort();
+                    Err(e)
+                }
+            };
+            match result {
+                Err(Error::WriteConflict { .. } | Error::Deadlock { .. })
+                    if attempt < WOUND_RETRIES =>
+                {
+                    attempt += 1;
+                    if !self.wait_for_announce_turn(order_index) {
+                        return Err(Error::OrderedCommitTimeout {
+                            sequence: commit_version,
+                        });
+                    }
+                }
+                other => return other,
+            }
         }
-        tx.commit_ordered(order_index, commit_version)
     }
 
-    fn mark_remote_apply(&self, id: TxId) {
+    /// Parks until every announce order strictly below `order_index` has
+    /// announced (the precondition under which an ordered apply retry can
+    /// no longer be wounded).  Returns `false` if the ordered-commit
+    /// timeout elapses first — the announce chain itself is stuck, which
+    /// is the caller's resync path, not a retry case.
+    fn wait_for_announce_turn(&self, order_index: u64) -> bool {
+        let deadline = std::time::Instant::now() + self.shared.ordered_commit_timeout;
+        let mut data = self.shared.data.lock();
+        while data.announce_counter < order_index.saturating_sub(1) {
+            let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+            if timeout.is_zero()
+                || self
+                    .shared
+                    .announced
+                    .wait_for(&mut data, timeout)
+                    .timed_out()
+            {
+                return data.announce_counter >= order_index.saturating_sub(1);
+            }
+        }
+        true
+    }
+
+    fn mark_remote_apply(&self, id: TxId, order: Option<u64>) {
         if let Some(tx) = self.shared.txns.lock().get_mut(&id) {
             tx.remote_apply = true;
+            tx.remote_order = order;
         }
     }
 
@@ -707,9 +769,9 @@ impl Database {
         // certification anyway; aborting it immediately also prevents
         // deadlocks between the replication middleware's apply phase and
         // client transactions.
-        let is_remote_apply = self
-            .with_tx(id, |tx| Ok(tx.remote_apply))
-            .unwrap_or(false);
+        let (is_remote_apply, my_order) = self
+            .with_tx(id, |tx| Ok((tx.remote_apply, tx.remote_order)))
+            .unwrap_or((false, None));
         if is_remote_apply {
             let resource = (table, key.clone());
             loop {
@@ -718,15 +780,40 @@ impl Database {
                 }
                 match self.shared.locks.holder(&resource) {
                     Some(holder) if holder != id => {
-                        let holder_is_remote = self
-                            .with_tx(holder, |tx| Ok(tx.remote_apply))
-                            .unwrap_or(false);
+                        let (holder_is_remote, holder_order) = self
+                            .with_tx(holder, |tx| Ok((tx.remote_apply, tx.remote_order)))
+                            .unwrap_or((false, None));
                         if holder_is_remote {
-                            // Two certified writesets never conflict; fall
-                            // back to the ordinary blocking path.
-                            break;
+                            // Two *concurrently certified* writesets never
+                            // conflict — but two sequential certified
+                            // writesets may well write the same row, and
+                            // their applies can be scheduled by different
+                            // pipeline rounds and race here.  The announce
+                            // order decides who must commit first.  A holder
+                            // with a LATER order index is parked waiting for
+                            // our own announce while holding our row — a
+                            // cross-component cycle (row lock ↔ announce
+                            // chain) the wait-for graph cannot see, and the
+                            // mechanism behind the historical drain-tail
+                            // stall (presumed-deadlock retries at ~1 Hz
+                            // until an ordered-commit timeout broke the
+                            // cycle).  Wound it; `apply_writeset_ordered`
+                            // retries it after us.  An EARLIER-ordered (or
+                            // unordered) holder announces and releases
+                            // soon: wait it out on the blocking path.
+                            match (my_order, holder_order) {
+                                (Some(mine), Some(theirs)) if theirs > mine => {
+                                    self.abort_transaction(holder);
+                                    // The victim may be parked in its
+                                    // announce wait; wake it so it observes
+                                    // the wound now, not at its deadline.
+                                    self.shared.announced.notify_all();
+                                }
+                                _ => break,
+                            }
+                        } else {
+                            self.abort_transaction(holder);
                         }
-                        self.abort_transaction(holder);
                     }
                     _ => {}
                 }
@@ -1025,13 +1112,34 @@ impl Database {
             .then(std::time::Instant::now);
         let deadline = std::time::Instant::now() + self.shared.ordered_commit_timeout;
         let mut data = self.shared.data.lock();
-        while data.announce_counter != order_index - 1 {
+        loop {
             if data.announce_counter >= order_index {
                 drop(data);
                 self.abort_tx(id);
                 return Err(Error::Protocol(format!(
                     "ordered commit index {order_index} already announced"
                 )));
+            }
+            if data.announce_counter == order_index - 1 {
+                // Our turn — but an earlier-ordered apply may have wounded
+                // us while we waited (`lock_row`), in which case our locks
+                // are gone and installing would race its write.  Check
+                // without `data` held (the transaction table is never taken
+                // under the data lock).  No new wound can land after this
+                // check: wounds only come from strictly earlier orders, and
+                // every one of those has already announced.
+                drop(data);
+                if !self.with_tx(id, |tx| Ok(tx.is_active())).unwrap_or(false) {
+                    return Err(Error::WriteConflict {
+                        tx: id,
+                        detail: "ordered apply wounded by an earlier-ordered writeset".into(),
+                    });
+                }
+                data = self.shared.data.lock();
+                if data.announce_counter == order_index - 1 {
+                    break;
+                }
+                continue;
             }
             let timeout = deadline.saturating_duration_since(std::time::Instant::now());
             if timeout.is_zero()
@@ -1042,12 +1150,23 @@ impl Database {
                     .timed_out()
             {
                 if data.announce_counter == order_index - 1 {
-                    break;
+                    continue;
                 }
                 drop(data);
                 self.abort_tx(id);
                 return Err(Error::OrderedCommitTimeout { sequence: version });
             }
+            // Woken — by an announce, or by a wound from an earlier-ordered
+            // apply that needed one of our rows.  Surface a wound promptly
+            // as a retryable conflict instead of sleeping out the deadline.
+            drop(data);
+            if !self.with_tx(id, |tx| Ok(tx.is_active())).unwrap_or(false) {
+                return Err(Error::WriteConflict {
+                    tx: id,
+                    detail: "ordered apply wounded by an earlier-ordered writeset".into(),
+                });
+            }
+            data = self.shared.data.lock();
         }
         if let Some(started) = announce_started {
             self.shared
@@ -1511,6 +1630,52 @@ mod tests {
         let result = tx.commit_ordered(9, Version(9));
         assert!(matches!(result, Err(Error::OrderedCommitTimeout { .. })));
         assert_eq!(db.version(), Version::ZERO);
+    }
+
+    #[test]
+    fn wounded_ordered_apply_parks_for_its_turn_instead_of_spinning() {
+        // A wounded (or lock-timed-out) ordered apply cannot succeed before
+        // its announce turn: every wound comes from a strictly earlier
+        // order.  The retry loop must therefore park on the announce
+        // condvar rather than respin begin/apply/conflict — the hot-spin
+        // variant burned one full lock-wait round per retry (the fault
+        // harness measured ~75 runnable threads and 10+ second drain
+        // stalls on seed 0x29).  Here the predecessor (order 1) never
+        // arrives and a local transaction pins the row: the apply must
+        // give up with OrderedCommitTimeout after roughly one lock-wait
+        // plus one announce-wait, not 64 lock-wait rounds.
+        let db = Database::new(EngineConfig {
+            ordered_commit_timeout: Duration::from_millis(75),
+            lock_wait_timeout: Duration::from_millis(50),
+            ..EngineConfig::default()
+        });
+        let t = db.create_table("t", &["x"]);
+        let holder = db.begin();
+        holder
+            .insert(t, 1, vec![("x".into(), Value::Int(1))])
+            .unwrap();
+        let mut writeset = WriteSet::new();
+        writeset.push(tashkent_common::WriteItem::update(
+            t,
+            1,
+            vec![("x".into(), Value::Int(2))],
+        ));
+        let started = std::time::Instant::now();
+        let result = db.apply_writeset_ordered(&writeset, Version(2), 2);
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(
+                result,
+                Err(Error::OrderedCommitTimeout { .. } | Error::Deadlock { .. })
+            ),
+            "stuck ordered apply must surface to the resync path: {result:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "ordered apply spun through lock-wait rounds instead of parking \
+             ({elapsed:?})"
+        );
+        drop(holder);
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct Transaction {
     /// `true` if this transaction is the application of a remote writeset
     /// (used for diagnostics and to skip writeset re-capture downstream).
     pub remote_apply: bool,
+    /// For an *ordered* remote apply, its announce-order index.  Row-lock
+    /// arbitration between two remote applies compares these: the
+    /// later-ordered one can never commit first (it waits for the earlier
+    /// one's announce), so holding a row the earlier one needs is a
+    /// guaranteed cross-component deadlock and the later one is wounded.
+    pub remote_order: Option<u64>,
 }
 
 impl Transaction {
@@ -55,6 +61,7 @@ impl Transaction {
             write_buffer: HashMap::new(),
             writeset: WriteSet::new(),
             remote_apply: false,
+            remote_order: None,
         }
     }
 

@@ -98,17 +98,30 @@ impl Bencher {
             .collect();
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
         let best = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
-        let extra = match throughput {
-            Some(Throughput::Elements(n)) if mean > 0.0 => {
-                format!("  {:.0} elem/s", n as f64 / mean)
+        // Median over samples: the robust center on noisy shared machines,
+        // where a few descheduled samples can double the mean.
+        let median = {
+            let mut sorted = per_iter.clone();
+            sorted.sort_by(f64::total_cmp);
+            let mid = sorted.len() / 2;
+            if sorted.len().is_multiple_of(2) {
+                (sorted[mid - 1] + sorted[mid]) / 2.0
+            } else {
+                sorted[mid]
             }
-            Some(Throughput::Bytes(n)) if mean > 0.0 => {
-                format!("  {:.0} B/s", n as f64 / mean)
+        };
+        let extra = match throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  {:.0} elem/s", n as f64 / median)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  {:.0} B/s", n as f64 / median)
             }
             _ => String::new(),
         };
         println!(
-            "{label:<40} mean {:>12}  best {:>12}{extra}",
+            "{label:<40} median {:>12}  mean {:>12}  best {:>12}{extra}",
+            format_time(median),
             format_time(mean),
             format_time(best),
         );
